@@ -1,0 +1,431 @@
+// Benchmarks: one per experiment (E1–E10, matching DESIGN.md's
+// per-experiment index) plus scaling series for the three algorithms
+// and the supporting substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package replicatree_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/experiments"
+	"replicatree/internal/gen"
+	"replicatree/internal/hetero"
+	"replicatree/internal/lp"
+	"replicatree/internal/multiple"
+	"replicatree/internal/sim"
+	"replicatree/internal/single"
+	"replicatree/internal/tree"
+)
+
+// BenchmarkE1_NPGadgetSingle: exact solving of the 3-Partition gadget
+// I2 (Theorem 1 / Fig. 1).
+func BenchmarkE1_NPGadgetSingle(b *testing.B) {
+	in, _, err := gen.GadgetI2([]int64{5, 5, 6, 5, 5, 6}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.SolveSingle(in, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_InapproxGadget: exact solving of the 2-Partition gadget
+// I4 (Theorem 2 / Fig. 2).
+func BenchmarkE2_InapproxGadget(b *testing.B) {
+	in, err := gen.GadgetI4([]int64{3, 3, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.SolveSingle(in, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_TightSingleGen: Algorithm 1 on the tight family Im
+// (Theorem 3 / Fig. 3).
+func BenchmarkE3_TightSingleGen(b *testing.B) {
+	res, err := gen.GadgetIm(16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := single.Gen(res.Instance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.NumReplicas() != res.AlgoReplicas {
+			b.Fatalf("ratio drifted: %d != %d", sol.NumReplicas(), res.AlgoReplicas)
+		}
+	}
+}
+
+// BenchmarkE4_NoDRatio: Algorithm 1 on a random NoD instance
+// (Corollary 1 regime).
+func BenchmarkE4_NoDRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 60, MaxArity: 3, MaxDist: 3, MaxReq: 15, ExtraClients: 30,
+	}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := single.Gen(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_TightSingleNoD: Algorithm 2 on the tight family of
+// Fig. 4 (Theorem 4).
+func BenchmarkE5_TightSingleNoD(b *testing.B) {
+	res, err := gen.GadgetFig4(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := single.NoD(res.Instance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.NumReplicas() != res.AlgoReplicas {
+			b.Fatalf("ratio drifted: %d != %d", sol.NumReplicas(), res.AlgoReplicas)
+		}
+	}
+}
+
+// BenchmarkE6_NPGadgetMultiple: constructing and verifying the proof's
+// explicit 4m-replica solution of the I6 gadget (Theorem 5 / Fig. 5).
+func BenchmarkE6_NPGadgetMultiple(b *testing.B) {
+	as := []int64{1, 2, 2, 2, 2, 3, 3, 3}
+	I := []int{1, 4, 6, 8}
+	in, _, err := gen.GadgetI6(as)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := gen.I6Solution(in, as, I)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.Verify(in, core.Multiple, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_MultipleBinOptimal: Algorithm 3 on a random binary
+// instance with distance constraints (Theorem 6 regime).
+func BenchmarkE7_MultipleBinOptimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 100, MaxArity: 2, MaxDist: 3, MaxReq: 15, ExtraClients: 40,
+	}, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiple.Bin(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_GreedyMultiple: the general-arity generalisation on a
+// wide tree.
+func BenchmarkE8_GreedyMultiple(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 100, MaxArity: 5, MaxDist: 3, MaxReq: 15, ExtraClients: 60,
+	}, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiple.Greedy(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_PolicyComparison: the full per-instance pipeline of the
+// policy-comparison experiment (all heuristics, no exact solvers).
+func BenchmarkE9_PolicyComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 40, MaxArity: 2, MaxDist: 3, MaxReq: 15, ExtraClients: 20,
+	}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := single.Gen(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd, err := single.NoD(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = single.PushUp(in, nd)
+		m, err := multiple.Best(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumReplicas() < m.NumReplicas() {
+			b.Fatal("Multiple worse than Single heuristic — impossible")
+		}
+	}
+}
+
+// BenchmarkE10_ExperimentSuite: the whole quick-scale experiment
+// harness end to end.
+func BenchmarkE10_ExperimentSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All(experiments.Quick, 1) {
+			if !r.OK {
+				b.Fatalf("%s failed to reproduce", r.ID)
+			}
+		}
+	}
+}
+
+// Scaling series — the complexity claims of Theorems 3, 4 and 6.
+
+func scalingInstance(n int, arity int) *core.Instance {
+	rng := rand.New(rand.NewSource(int64(n)))
+	if arity == 2 {
+		t := gen.Caterpillar(rng, n, 3, 9)
+		return &core.Instance{Tree: t, W: t.MaxRequests() + 20, DMax: core.NoDistance}
+	}
+	t := gen.RandomTree(rng, gen.TreeConfig{Internals: n, MaxArity: arity, MaxDist: 3, MaxReq: 9})
+	return &core.Instance{Tree: t, W: t.MaxRequests() + 20, DMax: core.NoDistance}
+}
+
+func BenchmarkScalingSingleGen(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		in := scalingInstance(n, 2)
+		b.Run(fmt.Sprintf("nodes=%d", in.Tree.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := single.Gen(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScalingSingleNoD(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		in := scalingInstance(n, 2)
+		b.Run(fmt.Sprintf("nodes=%d", in.Tree.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := single.NoD(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScalingMultipleBin(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		in := scalingInstance(n, 2)
+		b.Run(fmt.Sprintf("nodes=%d", in.Tree.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := multiple.Bin(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScalingGreedyArity4(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		in := scalingInstance(n, 4)
+		b.Run(fmt.Sprintf("nodes=%d", in.Tree.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := multiple.Greedy(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Substrate benchmarks.
+
+func BenchmarkVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 200, MaxArity: 2, MaxDist: 3, MaxReq: 15, ExtraClients: 100,
+	}, true)
+	sol, err := multiple.Bin(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Verify(in, core.Multiple, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 500, MaxArity: 3, MaxDist: 3, MaxReq: 15, ExtraClients: 200,
+	}, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.LowerBound(in) < 1 {
+			b.Fatal("bound collapsed")
+		}
+	}
+}
+
+func BenchmarkExactMultipleSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 4, MaxArity: 2, MaxDist: 3, MaxReq: 9, ExtraClients: 2,
+	}, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.SolveMultiple(in, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension benchmarks (E11/E12 and the new subsystems).
+
+func BenchmarkE11_LPLowerBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 15, MaxArity: 3, MaxDist: 3, MaxReq: 9, ExtraClients: 10,
+	}, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.LowerBound(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_BinarizedLowerBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 60, MaxArity: 5, MaxDist: 3, MaxReq: 9, ExtraClients: 30,
+	}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiple.BinarizedLowerBound(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12_FailureReplay(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 30, MaxArity: 2, MaxDist: 3, MaxReq: 9, ExtraClients: 15,
+	}, false)
+	sol, err := multiple.Best(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := sol.Replicas[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunWithFailures(in, core.Multiple, sol,
+			sim.Config{Steps: 20}, []sim.Failure{{Server: victim, Step: 10}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeLatency(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 40, MaxArity: 2, MaxDist: 4, MaxReq: 12, ExtraClients: 20,
+	}, false)
+	sol, err := multiple.Best(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiple.MinimizeLatency(in, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeteroGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	base := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 20, MaxArity: 3, MaxDist: 3, MaxReq: 9, ExtraClients: 10,
+	}, false)
+	in := hetero.FromUniform(base)
+	for j := range in.Cap {
+		if !in.Tree.IsClient(tree.NodeID(j)) {
+			in.Cap[j] = base.W + rng.Int63n(base.W)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetero.Greedy(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinarize(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	t := gen.RandomTree(rng, gen.TreeConfig{
+		Internals: 200, MaxArity: 6, MaxDist: 3, MaxReq: 9, ExtraClients: 100,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bz := tree.Binarize(t)
+		if !bz.Tree.IsBinary() {
+			b.Fatal("not binary")
+		}
+	}
+}
+
+func BenchmarkPushUp(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 40, MaxArity: 2, MaxDist: 3, MaxReq: 12, ExtraClients: 20,
+	}, false)
+	sol, err := single.Gen(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = single.PushUp(in, sol)
+	}
+}
+
+func BenchmarkE13_ConjectureProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 40, MaxArity: 2, MaxDist: 3, MaxReq: 12, ExtraClients: 20,
+	}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := single.NoDBest(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

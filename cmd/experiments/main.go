@@ -1,0 +1,90 @@
+// Command experiments regenerates every evaluation artifact of the
+// paper (Theorems 1-6, Figures 1-5, complexity claims) and prints the
+// tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # full scale, all experiments
+//	experiments -scale quick    # the fast configuration the tests use
+//	experiments -id E3          # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"replicatree/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "full", "quick|full")
+	id := fs.String("id", "", "run a single experiment (E1..E13)")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "text", "output format: text|markdown|csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "markdown" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	results := experiments.All(scale, *seed)
+	mismatches := 0
+	for _, r := range results {
+		if *id != "" && r.ID != *id {
+			continue
+		}
+		switch *format {
+		case "markdown":
+			fmt.Fprintln(stdout, r.Markdown())
+		case "csv":
+			fmt.Fprintf(stdout, "# %s: %s\n%s\n", r.ID, r.Title, r.Table.CSV())
+		default:
+			fmt.Fprintln(stdout, r)
+		}
+	}
+	if *id != "" {
+		found := false
+		for _, r := range results {
+			if r.ID == *id {
+				found = true
+				if !r.OK {
+					mismatches++
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q", *id)
+		}
+	} else {
+		for _, r := range results {
+			if !r.OK {
+				mismatches++
+			}
+		}
+		fmt.Fprintf(stdout, "summary: %d/%d experiments reproduced\n", len(results)-mismatches, len(results))
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce", mismatches)
+	}
+	return nil
+}

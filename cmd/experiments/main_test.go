@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("quick run failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		if !strings.Contains(s, "== "+id+":") {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if !strings.Contains(s, "summary: 13/13 experiments reproduced") {
+		t.Errorf("unexpected summary:\n%s", lastLines(s, 3))
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-id", "E3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E3:") || strings.Contains(s, "== E5:") {
+		t.Errorf("expected only E3:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "nope"}, &out); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-scale", "quick", "-id", "E99"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-id", "E5", "-format", "markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "## E5 —") || !strings.Contains(s, "| --- |") {
+		t.Errorf("markdown output malformed:\n%s", s)
+	}
+	if err := run([]string{"-format", "nope"}, &out); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-id", "E5", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# E5:") || !strings.Contains(s, "K,algo") {
+		t.Errorf("csv output malformed:\n%s", s)
+	}
+}

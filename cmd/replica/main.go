@@ -1,0 +1,145 @@
+// Command replica solves a replica placement instance read from a
+// JSON file (or stdin) and prints the resulting placement.
+//
+// Usage:
+//
+//	replica -algo single-gen  -in instance.json
+//	replica -algo multiple-bin -in instance.json -format json
+//	treegen -kind binary -internals 10 | replica -algo exact-multiple
+//
+// Algorithms: single-gen (Algorithm 1, (Δ+1)-approx), single-nod
+// (Algorithm 2, 2-approx for NoD), multiple-bin (Algorithm 3, optimal
+// on binary trees with ri ≤ W), multiple-greedy (general arity),
+// exact-single / exact-multiple (optimal branch-and-bound baselines).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/multiple"
+	"replicatree/internal/single"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replica:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replica", flag.ContinueOnError)
+	algo := fs.String("algo", "single-gen", "algorithm: single-gen|single-nod|multiple-bin|multiple-lazy|multiple-best|multiple-greedy|exact-single|exact-multiple")
+	inPath := fs.String("in", "-", "instance JSON file ('-' for stdin)")
+	format := fs.String("format", "text", "output format: text|json|dot")
+	pushup := fs.Bool("pushup", false, "apply the push-up post-pass (Single policy only)")
+	latency := fs.Bool("latency", false, "re-route assignments for minimal total distance (Multiple policy only)")
+	budget := fs.Int64("budget", 0, "work budget for exact solvers (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var data []byte
+	var err error
+	if *inPath == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(*inPath)
+	}
+	if err != nil {
+		return err
+	}
+	var in core.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+
+	var sol *core.Solution
+	pol := core.Single
+	switch *algo {
+	case "single-gen":
+		sol, err = single.Gen(&in)
+	case "single-nod":
+		sol, err = single.NoD(&in)
+	case "multiple-bin":
+		pol = core.Multiple
+		sol, err = multiple.Bin(&in)
+	case "multiple-lazy":
+		pol = core.Multiple
+		sol, err = multiple.Lazy(&in)
+	case "multiple-best":
+		pol = core.Multiple
+		sol, err = multiple.Best(&in)
+	case "multiple-greedy":
+		pol = core.Multiple
+		sol, err = multiple.Greedy(&in)
+	case "exact-single":
+		sol, err = exact.SolveSingle(&in, exact.Options{Budget: *budget})
+	case "exact-multiple":
+		pol = core.Multiple
+		sol, err = exact.SolveMultiple(&in, exact.Options{Budget: *budget})
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	if *pushup {
+		if pol != core.Single {
+			return fmt.Errorf("-pushup applies to Single-policy algorithms only")
+		}
+		sol = single.PushUp(&in, sol)
+	}
+	if *latency {
+		if pol != core.Multiple {
+			return fmt.Errorf("-latency applies to Multiple-policy algorithms only")
+		}
+		sol, err = multiple.MinimizeLatency(&in, sol)
+		if err != nil {
+			return err
+		}
+	}
+	if err := core.Verify(&in, pol, sol); err != nil {
+		return fmt.Errorf("solution failed verification: %w", err)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sol)
+	case "dot":
+		fmt.Fprint(stdout, in.Tree.DOT(sol.ReplicaSet()))
+		return nil
+	case "text":
+		printText(stdout, &in, pol, sol)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func printText(w io.Writer, in *core.Instance, pol core.Policy, sol *core.Solution) {
+	dmax := "∞"
+	if !in.NoD() {
+		dmax = fmt.Sprint(in.DMax)
+	}
+	fmt.Fprintf(w, "instance: %s W=%d dmax=%s policy=%s\n", in.Tree, in.W, dmax, pol)
+	fmt.Fprintf(w, "replicas: %d (lower bound %d)\n", sol.NumReplicas(), core.LowerBound(in))
+	loads := sol.Loads()
+	for _, r := range sol.Replicas {
+		fmt.Fprintf(w, "  %-8s load %d/%d\n", in.Tree.Name(r), loads[r], in.W)
+	}
+	fmt.Fprintln(w, "assignments:")
+	for _, a := range sol.Assignments {
+		fmt.Fprintf(w, "  %-8s -> %-8s  %d requests (distance %d)\n",
+			in.Tree.Name(a.Client), in.Tree.Name(a.Server), a.Amount,
+			in.Tree.DistanceUp(a.Client, a.Server))
+	}
+}

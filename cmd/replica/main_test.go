@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+func instanceJSON(t *testing.T) string {
+	t.Helper()
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	a := b.Internal(root, 1, "a")
+	b.Client(a, 1, 5, "c1")
+	b.Client(a, 1, 7, "c2")
+	b.Client(root, 1, 2, "c3")
+	in := &core.Instance{Tree: b.MustBuild(), W: 12, DMax: core.NoDistance}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{
+		"single-gen", "single-nod", "multiple-bin", "multiple-lazy",
+		"multiple-best", "multiple-greedy", "exact-single", "exact-multiple",
+	} {
+		var out bytes.Buffer
+		err := run([]string{"-algo", algo}, strings.NewReader(instanceJSON(t)), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "replicas:") {
+			t.Errorf("%s: missing replica summary:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunJSONAndDotFormats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "single-gen", "-format", "json"},
+		strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	var sol core.Solution
+	if err := json.Unmarshal(out.Bytes(), &sol); err != nil {
+		t.Fatalf("output is not a solution: %v", err)
+	}
+	if sol.NumReplicas() == 0 {
+		t.Fatal("empty solution")
+	}
+	out.Reset()
+	if err := run([]string{"-algo", "single-gen", "-format", "dot"},
+		strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatal("dot output missing digraph")
+	}
+}
+
+func TestRunPushUp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "single-nod", "-pushup"},
+		strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "multiple-bin", "-pushup"},
+		strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Fatal("pushup on Multiple should fail")
+	}
+}
+
+func TestRunLatency(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "multiple-best", "-latency"},
+		strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-algo", "single-gen", "-latency"},
+		strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Fatal("latency on Single should fail")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(instanceJSON(t)), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "multiple-bin", "-in", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run([]string{"-format", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run(nil, strings.NewReader("{bad json"), &out); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, nil, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"replicatree/internal/core"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "random", "-internals", "6", "-seed", "3"},
+		{"-kind", "random", "-distance"},
+		{"-kind", "binary", "-internals", "8"},
+		{"-kind", "caterpillar", "-internals", "5"},
+		{"-kind", "i2", "-m", "2", "-b", "16"},
+		{"-kind", "i4", "-m", "3"},
+		{"-kind", "im", "-m", "2", "-delta", "3"},
+		{"-kind", "fig4", "-k", "5"},
+		{"-kind", "i6", "-m", "3"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		var in core.Instance
+		if err := json.Unmarshal(out.Bytes(), &in); err != nil {
+			t.Fatalf("%v: output not a valid instance: %v", args, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%v: invalid instance: %v", args, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-kind", "random", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "random", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must generate identical output")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "nope"}, &out); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := run([]string{"-kind", "im", "-delta", "1"}, &out); err == nil {
+		t.Error("Δ=1 should fail")
+	}
+}

@@ -1,0 +1,16 @@
+// Package replicatree reproduces "Optimal algorithms and approximation
+// algorithms for replica placement with distance constraints in tree
+// networks" (Benoit, Larchevêque, Renaud-Goud; INRIA RR-7750 / IPDPS
+// 2012).
+//
+// The implementation lives under internal/: the problem model and
+// verifier (internal/core), the tree substrate (internal/tree), the
+// paper's three algorithms (internal/single, internal/multiple), exact
+// optimal baselines (internal/exact), instance generators including
+// the paper's proof gadgets (internal/gen), and the experiment harness
+// that regenerates every theorem/figure artifact
+// (internal/experiments). See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The root package intentionally exports nothing; bench_test.go hosts
+// the benchmark suite, one benchmark per experiment.
+package replicatree

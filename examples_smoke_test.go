@@ -1,0 +1,29 @@
+package replicatree_test
+
+// Smoke test: every example must build and run to completion. Examples
+// are package main and cannot be imported, so this shells out to the
+// local toolchain; skipped under -short.
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	for _, ex := range []string{"quickstart", "vod", "qos", "policies", "hetero", "replan"} {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", ex)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package replicatree_test
+
+// One-off helper to print the golden manifest. Run with:
+//   go test -run TestPrintGoldenManifest -v -tags never
+// (kept for regeneration; skipped by default)
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/multiple"
+	"replicatree/internal/single"
+)
+
+func TestPrintGoldenManifest(t *testing.T) {
+	if os.Getenv("REGEN_GOLDEN") == "" {
+		t.Skip("set REGEN_GOLDEN=1 to regenerate the manifest")
+	}
+	files, _ := filepath.Glob("testdata/*.json")
+	out := map[string]map[string]int{}
+	for _, f := range files {
+		if filepath.Base(f) == "manifest.json" {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in core.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			t.Fatal(err)
+		}
+		rec := map[string]int{}
+		if g, err := single.Gen(&in); err == nil {
+			rec["single-gen"] = g.NumReplicas()
+		}
+		if nd, err := single.NoD(&in); err == nil {
+			rec["single-nod"] = nd.NumReplicas()
+		}
+		if mb, err := multiple.Best(&in); err == nil {
+			rec["multiple-best"] = mb.NumReplicas()
+		}
+		rec["lower-bound"] = core.LowerBound(&in)
+		out[filepath.Base(f)] = rec
+	}
+	data, _ := json.MarshalIndent(out, "", "  ")
+	fmt.Println(string(data))
+}

@@ -1,0 +1,118 @@
+package replicatree_test
+
+// Golden regression tests: a frozen corpus of instances in testdata/
+// with recorded replica counts per algorithm (testdata/manifest.json).
+// Any behavioural drift in the deterministic algorithms shows up here
+// immediately. Regenerate with REGEN_GOLDEN=1 (see golden_gen_test.go)
+// only after deliberately changing algorithm behaviour.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/multiple"
+	"replicatree/internal/single"
+)
+
+func TestGoldenCorpus(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	var manifest map[string]map[string]int
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if len(manifest) < 8 {
+		t.Fatalf("manifest has only %d entries", len(manifest))
+	}
+	for file, want := range manifest {
+		raw, err := os.ReadFile(filepath.Join("testdata", file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		var in core.Instance
+		if err := json.Unmarshal(raw, &in); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if got := core.LowerBound(&in); got != want["lower-bound"] {
+			t.Errorf("%s: LowerBound = %d, golden %d", file, got, want["lower-bound"])
+		}
+		if wantN, ok := want["single-gen"]; ok {
+			sol, err := single.Gen(&in)
+			if err != nil {
+				t.Errorf("%s single-gen: %v", file, err)
+			} else if sol.NumReplicas() != wantN {
+				t.Errorf("%s: single-gen = %d, golden %d", file, sol.NumReplicas(), wantN)
+			}
+		}
+		if wantN, ok := want["single-nod"]; ok {
+			sol, err := single.NoD(&in)
+			if err != nil {
+				t.Errorf("%s single-nod: %v", file, err)
+			} else if sol.NumReplicas() != wantN {
+				t.Errorf("%s: single-nod = %d, golden %d", file, sol.NumReplicas(), wantN)
+			}
+		}
+		if wantN, ok := want["multiple-best"]; ok {
+			sol, err := multiple.Best(&in)
+			if err != nil {
+				t.Errorf("%s multiple-best: %v", file, err)
+			} else if sol.NumReplicas() != wantN {
+				t.Errorf("%s: multiple-best = %d, golden %d", file, sol.NumReplicas(), wantN)
+			}
+		}
+	}
+}
+
+// TestGoldenCorpusSanity cross-checks structural relations the corpus
+// must satisfy regardless of the recorded numbers.
+func TestGoldenCorpusSanity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := 0
+	for _, f := range files {
+		if filepath.Base(f) == "manifest.json" {
+			continue
+		}
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in core.Instance
+		if err := json.Unmarshal(raw, &in); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		instances++
+		if !in.FitsLocally() {
+			// The oversized-client gadget (I6): only the exact and
+			// hetero machinery apply; nothing more to check here.
+			continue
+		}
+		mb, err := multiple.Best(&in)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		sg, err := single.Gen(&in)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if mb.NumReplicas() > sg.NumReplicas() {
+			t.Errorf("%s: Multiple heuristic above Single heuristic", f)
+		}
+		if mb.NumReplicas() < core.LowerBound(&in) {
+			t.Errorf("%s: below lower bound", f)
+		}
+	}
+	if instances < 8 {
+		t.Fatalf("only %d corpus instances", instances)
+	}
+}

@@ -1,0 +1,201 @@
+// Package binpack implements classical bin-packing heuristics and
+// lower bounds. The paper frames replica placement as Bin-Packing with
+// tree and distance constraints (§1); these unconstrained packers are
+// the baseline the experiments compare against: they ignore the tree,
+// so they bound from below what any placement can achieve and expose
+// how much the tree/distance structure costs.
+package binpack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a packing: Bins[b] lists the indices of the items placed
+// in bin b.
+type Result struct {
+	Bins [][]int
+}
+
+// NumBins returns the number of bins used.
+func (r *Result) NumBins() int { return len(r.Bins) }
+
+// Validate checks that the packing uses every item exactly once and
+// respects the capacity.
+func (r *Result) Validate(items []int64, capacity int64) error {
+	seen := make([]bool, len(items))
+	for b, bin := range r.Bins {
+		var load int64
+		for _, i := range bin {
+			if i < 0 || i >= len(items) {
+				return fmt.Errorf("binpack: bin %d has invalid item %d", b, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("binpack: item %d packed twice", i)
+			}
+			seen[i] = true
+			load += items[i]
+		}
+		if load > capacity {
+			return fmt.Errorf("binpack: bin %d load %d > capacity %d", b, load, capacity)
+		}
+	}
+	for i, s := range seen {
+		// Zero-size items need no bin; the packers skip them.
+		if !s && items[i] != 0 {
+			return fmt.Errorf("binpack: item %d not packed", i)
+		}
+	}
+	return nil
+}
+
+// FirstFitDecreasing packs items (sizes ≤ capacity) with the classical
+// FFD heuristic: sort decreasing, place each item into the first bin
+// with room. FFD uses at most 11/9·OPT + 6/9 bins.
+func FirstFitDecreasing(items []int64, capacity int64) (*Result, error) {
+	order, err := checkAndOrder(items, capacity)
+	if err != nil {
+		return nil, err
+	}
+	var bins [][]int
+	var loads []int64
+	for _, i := range order {
+		placed := false
+		for b := range bins {
+			if loads[b]+items[i] <= capacity {
+				bins[b] = append(bins[b], i)
+				loads[b] += items[i]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, []int{i})
+			loads = append(loads, items[i])
+		}
+	}
+	return &Result{Bins: bins}, nil
+}
+
+// BestFitDecreasing packs items with BFD: sort decreasing, place each
+// item into the fullest bin that still fits it.
+func BestFitDecreasing(items []int64, capacity int64) (*Result, error) {
+	order, err := checkAndOrder(items, capacity)
+	if err != nil {
+		return nil, err
+	}
+	var bins [][]int
+	var loads []int64
+	for _, i := range order {
+		best := -1
+		var bestLoad int64 = -1
+		for b := range bins {
+			if loads[b]+items[i] <= capacity && loads[b] > bestLoad {
+				best = b
+				bestLoad = loads[b]
+			}
+		}
+		if best < 0 {
+			bins = append(bins, []int{i})
+			loads = append(loads, items[i])
+			continue
+		}
+		bins[best] = append(bins[best], i)
+		loads[best] += items[i]
+	}
+	return &Result{Bins: bins}, nil
+}
+
+func checkAndOrder(items []int64, capacity int64) ([]int, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("binpack: non-positive capacity %d", capacity)
+	}
+	order := make([]int, 0, len(items))
+	for i, it := range items {
+		if it < 0 {
+			return nil, fmt.Errorf("binpack: negative item %d", it)
+		}
+		if it > capacity {
+			return nil, fmt.Errorf("binpack: item %d of size %d exceeds capacity %d", i, it, capacity)
+		}
+		if it > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if items[order[a]] != items[order[b]] {
+			return items[order[a]] > items[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order, nil
+}
+
+// LowerBound returns the L1 bound ⌈Σ items / capacity⌉ plus the
+// "large item" refinement: items > capacity/2 cannot share a bin.
+func LowerBound(items []int64, capacity int64) int {
+	var sum int64
+	large := 0
+	for _, it := range items {
+		sum += it
+		if 2*it > capacity {
+			large++
+		}
+	}
+	l1 := int((sum + capacity - 1) / capacity)
+	if large > l1 {
+		return large
+	}
+	return l1
+}
+
+// Exact solves bin packing exactly by branch-and-bound (first-fit
+// symmetry breaking). Exponential; use on small inputs only.
+func Exact(items []int64, capacity int64) (int, error) {
+	order, err := checkAndOrder(items, capacity)
+	if err != nil {
+		return 0, err
+	}
+	if len(order) == 0 {
+		return 0, nil
+	}
+	sizes := make([]int64, len(order))
+	for k, i := range order {
+		sizes[k] = items[i]
+	}
+	best := len(sizes)
+	loads := make([]int64, 0, len(sizes))
+	lb := LowerBound(items, capacity)
+	var dfs func(k int)
+	dfs = func(k int) {
+		if len(loads) >= best {
+			return
+		}
+		if k == len(sizes) {
+			best = len(loads)
+			return
+		}
+		if best == lb {
+			return
+		}
+		// Try existing bins; skip duplicate loads (symmetry).
+		tried := make(map[int64]bool)
+		for b := range loads {
+			if loads[b]+sizes[k] > capacity || tried[loads[b]] {
+				continue
+			}
+			tried[loads[b]] = true
+			loads[b] += sizes[k]
+			dfs(k + 1)
+			loads[b] -= sizes[k]
+		}
+		// New bin.
+		if len(loads)+1 < best {
+			loads = append(loads, sizes[k])
+			dfs(k + 1)
+			loads = loads[:len(loads)-1]
+		}
+	}
+	dfs(0)
+	return best, nil
+}

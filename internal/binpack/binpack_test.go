@@ -1,0 +1,167 @@
+package binpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFDBasics(t *testing.T) {
+	items := []int64{5, 5, 4, 3, 3}
+	r, err := FirstFitDecreasing(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(items, 10); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBins() != 2 {
+		t.Fatalf("FFD bins = %d, want 2", r.NumBins())
+	}
+}
+
+func TestBFDBasics(t *testing.T) {
+	items := []int64{7, 6, 4, 3}
+	r, err := BestFitDecreasing(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(items, 10); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBins() != 2 {
+		t.Fatalf("BFD bins = %d, want 2 (7+3, 6+4)", r.NumBins())
+	}
+}
+
+func TestErrorsAndEdges(t *testing.T) {
+	if _, err := FirstFitDecreasing([]int64{5}, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := FirstFitDecreasing([]int64{11}, 10); err == nil {
+		t.Error("oversized item should fail")
+	}
+	if _, err := BestFitDecreasing([]int64{-1}, 10); err == nil {
+		t.Error("negative item should fail")
+	}
+	r, err := FirstFitDecreasing(nil, 10)
+	if err != nil || r.NumBins() != 0 {
+		t.Error("empty input should pack into zero bins")
+	}
+	// Zero-size items are skipped.
+	r, err = FirstFitDecreasing([]int64{0, 0, 3}, 10)
+	if err != nil || r.NumBins() != 1 {
+		t.Errorf("zero items: %v %v", r, err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if got := LowerBound([]int64{5, 5, 5}, 10); got != 2 {
+		t.Errorf("L1 = %d, want 2", got)
+	}
+	// Three large items can never share.
+	if got := LowerBound([]int64{6, 6, 6}, 10); got != 3 {
+		t.Errorf("large bound = %d, want 3", got)
+	}
+	if got := LowerBound(nil, 10); got != 0 {
+		t.Errorf("empty = %d, want 0", got)
+	}
+}
+
+func TestExactSmall(t *testing.T) {
+	cases := []struct {
+		items []int64
+		cap   int64
+		want  int
+	}{
+		{[]int64{5, 5, 5, 5}, 10, 2},
+		{[]int64{6, 6, 6}, 10, 3},
+		{[]int64{4, 4, 4, 3, 3, 3}, 7, 3},
+		{[]int64{}, 5, 0},
+		{[]int64{1, 1, 1, 1, 1}, 5, 1},
+	}
+	for _, tc := range cases {
+		got, err := Exact(tc.items, tc.cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Exact(%v, %d) = %d, want %d", tc.items, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestHeuristicsVsExact: FFD/BFD within the 11/9·OPT+1 guarantee and
+// never below OPT; OPT never below the lower bound.
+func TestHeuristicsVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		capacity := int64(10 + rng.Intn(20))
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = 1 + rng.Int63n(capacity)
+		}
+		opt, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(items, capacity)
+		if opt < lb {
+			t.Fatalf("opt %d < lower bound %d for %v cap %d", opt, lb, items, capacity)
+		}
+		for name, fn := range map[string]func([]int64, int64) (*Result, error){
+			"FFD": FirstFitDecreasing, "BFD": BestFitDecreasing,
+		} {
+			r, err := fn(items, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Validate(items, capacity); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if r.NumBins() < opt {
+				t.Fatalf("%s beat the optimum: %d < %d", name, r.NumBins(), opt)
+			}
+			if float64(r.NumBins()) > 11.0/9.0*float64(opt)+1 {
+				t.Fatalf("%s outside guarantee: %d bins, opt %d", name, r.NumBins(), opt)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadPackings(t *testing.T) {
+	items := []int64{4, 5}
+	if err := (&Result{Bins: [][]int{{0, 0}, {1}}}).Validate(items, 10); err == nil {
+		t.Error("duplicate item should fail")
+	}
+	if err := (&Result{Bins: [][]int{{0}}}).Validate(items, 10); err == nil {
+		t.Error("missing item should fail")
+	}
+	if err := (&Result{Bins: [][]int{{0, 1}}}).Validate(items, 8); err == nil {
+		t.Error("overload should fail")
+	}
+	if err := (&Result{Bins: [][]int{{7}}}).Validate(items, 8); err == nil {
+		t.Error("invalid index should fail")
+	}
+}
+
+func TestFFDQuickValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(5 + rng.Intn(50))
+		items := make([]int64, rng.Intn(40))
+		for i := range items {
+			items[i] = rng.Int63n(capacity + 1)
+		}
+		r, err := FirstFitDecreasing(items, capacity)
+		if err != nil {
+			return false
+		}
+		return r.Validate(items, capacity) == nil &&
+			r.NumBins() >= 0 // and bounded by item count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+// inst builds the shared test instance:
+//
+//	        root
+//	       /    \
+//	     a(1)    b(2)
+//	    /  \        \
+//	c1(3,r5) c2(1,r7)  c3(4,r2)
+func inst(t testing.TB, W, dmax int64) *Instance {
+	t.Helper()
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	a := b.Internal(root, 1, "a")
+	bb := b.Internal(root, 2, "b")
+	b.Client(a, 3, 5, "c1")
+	b.Client(a, 1, 7, "c2")
+	b.Client(bb, 4, 2, "c3")
+	return &Instance{Tree: b.MustBuild(), W: W, DMax: dmax}
+}
+
+func ids(t *tree.Tree, labels ...string) []tree.NodeID {
+	out := make([]tree.NodeID, len(labels))
+	for k, l := range labels {
+		out[k] = tree.None
+		for j := 0; j < t.Len(); j++ {
+			if t.Label(tree.NodeID(j)) == l {
+				out[k] = tree.NodeID(j)
+			}
+		}
+		if out[k] == tree.None {
+			panic("label not found: " + l)
+		}
+	}
+	return out
+}
+
+func TestPolicyString(t *testing.T) {
+	if Single.String() != "Single" || Multiple.String() != "Multiple" {
+		t.Fatal("Policy.String broken")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still print")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := inst(t, 10, NoDistance)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	if err := (&Instance{Tree: in.Tree, W: 0, DMax: 1}).Validate(); err == nil {
+		t.Error("W=0 should fail")
+	}
+	if err := (&Instance{Tree: in.Tree, W: 5, DMax: -1}).Validate(); err == nil {
+		t.Error("negative dmax should fail")
+	}
+	if err := (&Instance{W: 5, DMax: 1}).Validate(); err == nil {
+		t.Error("nil tree should fail")
+	}
+}
+
+func TestFitsLocallyAndFeasible(t *testing.T) {
+	in := inst(t, 10, NoDistance)
+	if !in.FitsLocally() {
+		t.Error("W=10 ≥ max r=7 should fit locally")
+	}
+	if !in.Feasible(Single) || !in.Feasible(Multiple) {
+		t.Error("W=10 should be feasible under both policies")
+	}
+	tight := inst(t, 6, NoDistance)
+	if tight.FitsLocally() {
+		t.Error("W=6 < r=7 should not fit locally")
+	}
+	if tight.Feasible(Single) {
+		t.Error("Single infeasible when some ri > W")
+	}
+	if !tight.Feasible(Multiple) {
+		t.Error("Multiple with 3 eligible servers × 6 ≥ 7 should be feasible")
+	}
+	// dmax = 0 leaves only the client itself eligible: 1×6 < 7.
+	if (&Instance{Tree: tight.Tree, W: 6, DMax: 0}).Feasible(Multiple) {
+		t.Error("Multiple with dmax=0 and ri > W should be infeasible")
+	}
+}
+
+func TestCanServe(t *testing.T) {
+	in := inst(t, 10, 3)
+	n := ids(in.Tree, "c1", "a", "root", "c3", "b")
+	c1, a, root, c3, b := n[0], n[1], n[2], n[3], n[4]
+	if !in.CanServe(c1, c1) {
+		t.Error("client can always serve itself at distance 0")
+	}
+	if !in.CanServe(c1, a) {
+		t.Error("c1→a at distance 3 ≤ dmax=3")
+	}
+	if in.CanServe(c1, root) {
+		t.Error("c1→root at distance 4 > dmax=3")
+	}
+	if in.CanServe(c1, b) {
+		t.Error("b is not on c1's path")
+	}
+	if in.CanServe(c3, b) {
+		t.Error("c3→b at distance 4 > dmax=3")
+	}
+}
+
+func TestVerifyAcceptsTrivial(t *testing.T) {
+	for _, dmax := range []int64{0, 2, NoDistance} {
+		in := inst(t, 10, dmax)
+		sol := Trivial(in)
+		if sol == nil {
+			t.Fatalf("Trivial returned nil for feasible instance")
+		}
+		for _, pol := range []Policy{Single, Multiple} {
+			if err := Verify(in, pol, sol); err != nil {
+				t.Errorf("Trivial rejected (dmax=%d, %v): %v", dmax, pol, err)
+			}
+		}
+		if sol.NumReplicas() != 3 {
+			t.Errorf("Trivial used %d replicas, want 3", sol.NumReplicas())
+		}
+	}
+}
+
+func TestTrivialNilWhenOversized(t *testing.T) {
+	if Trivial(inst(t, 6, NoDistance)) != nil {
+		t.Error("Trivial should be nil when some ri > W")
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	in := inst(t, 10, NoDistance)
+	n := ids(in.Tree, "c1", "c2", "c3", "a", "root", "b")
+	c1, c2, c3, a, root, b := n[0], n[1], n[2], n[3], n[4], n[5]
+
+	ok := &Solution{}
+	ok.AddReplica(a)
+	ok.AddReplica(root)
+	ok.Assign(c1, a, 5)
+	ok.Assign(c2, a, 7)
+	ok.Assign(c3, root, 2)
+	ok.Normalize()
+	if err := Verify(in, Single, ok); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("a holds 12 > W=10: want ErrCapacity, got %v", err)
+	}
+
+	in2 := inst(t, 12, NoDistance)
+	if err := Verify(in2, Single, ok); err != nil {
+		t.Fatalf("W=12 version should verify: %v", err)
+	}
+
+	// Coverage: drop c3's assignment.
+	missing := ok.Clone()
+	missing.Assignments = missing.Assignments[:2]
+	if err := Verify(in2, Single, missing); !errors.Is(err, ErrCoverage) {
+		t.Errorf("want ErrCoverage, got %v", err)
+	}
+
+	// Policy: split c2 across two servers.
+	split := ok.Clone()
+	split.Assignments = split.Assignments[:2]
+	split.Assign(c2, a, -4) // cancel 4 of the 7 — malformed, tested below
+	split = ok.Clone()
+	split.Assignments = nil
+	split.Assign(c1, a, 5)
+	split.Assign(c2, a, 3)
+	split.Assign(c2, root, 4)
+	split.Assign(c3, root, 2)
+	if err := Verify(in2, Single, split); !errors.Is(err, ErrPolicy) {
+		t.Errorf("want ErrPolicy, got %v", err)
+	}
+	if err := Verify(in2, Multiple, split); err != nil {
+		t.Errorf("split is legal under Multiple: %v", err)
+	}
+
+	// Distance: serve c3 (distance 4 from b... from root = 6) with a
+	// tight dmax.
+	tight := inst(t, 12, 3)
+	if err := Verify(tight, Single, ok); !errors.Is(err, ErrDistance) {
+		t.Errorf("want ErrDistance, got %v", err)
+	}
+
+	// Path: b cannot serve c1.
+	off := &Solution{}
+	off.AddReplica(b)
+	off.Assign(c1, b, 5)
+	if err := Verify(in2, Single, off); !errors.Is(err, ErrDistance) {
+		t.Errorf("want ErrDistance for off-path server, got %v", err)
+	}
+
+	// Structure: assignment to a non-replica.
+	nr := &Solution{}
+	nr.Assign(c1, a, 5)
+	if err := Verify(in2, Single, nr); !errors.Is(err, ErrStructure) {
+		t.Errorf("want ErrStructure, got %v", err)
+	}
+
+	// Structure: duplicate replica.
+	dup := &Solution{Replicas: []tree.NodeID{a, a}}
+	if err := Verify(in2, Single, dup); !errors.Is(err, ErrStructure) {
+		t.Errorf("want ErrStructure for duplicate, got %v", err)
+	}
+
+	// Structure: negative amount.
+	neg := &Solution{Replicas: []tree.NodeID{a}}
+	neg.Assignments = append(neg.Assignments, Assignment{Client: c1, Server: a, Amount: -1})
+	if err := Verify(in2, Single, neg); !errors.Is(err, ErrStructure) {
+		t.Errorf("want ErrStructure for negative amount, got %v", err)
+	}
+
+	// Structure: internal node as assignment source.
+	src := &Solution{Replicas: []tree.NodeID{root}}
+	src.Assignments = append(src.Assignments, Assignment{Client: a, Server: root, Amount: 1})
+	if err := Verify(in2, Single, src); !errors.Is(err, ErrStructure) {
+		t.Errorf("want ErrStructure for internal source, got %v", err)
+	}
+}
+
+func TestSolutionNormalize(t *testing.T) {
+	in := inst(t, 12, NoDistance)
+	n := ids(in.Tree, "c1", "a")
+	c1, a := n[0], n[1]
+	s := &Solution{}
+	s.Replicas = []tree.NodeID{a, a, c1}
+	s.Assign(c1, a, 2)
+	s.Assign(c1, a, 3)
+	s.Normalize()
+	if len(s.Replicas) != 2 {
+		t.Fatalf("Normalize kept %d replicas, want 2", len(s.Replicas))
+	}
+	if len(s.Assignments) != 1 || s.Assignments[0].Amount != 5 {
+		t.Fatalf("Normalize should merge to one assignment of 5, got %v", s.Assignments)
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	in := inst(t, 12, NoDistance)
+	n := ids(in.Tree, "c1", "c2", "a", "root")
+	c1, c2, a, root := n[0], n[1], n[2], n[3]
+	s := &Solution{}
+	s.AddReplica(a)
+	s.AddReplica(root)
+	s.AddReplica(a) // duplicate ignored
+	s.Assign(c1, a, 5)
+	s.Assign(c2, a, 3)
+	s.Assign(c2, root, 4)
+	s.Normalize()
+	if s.NumReplicas() != 2 {
+		t.Fatalf("NumReplicas = %d", s.NumReplicas())
+	}
+	loads := s.Loads()
+	if loads[a] != 8 || loads[root] != 4 {
+		t.Fatalf("Loads = %v", loads)
+	}
+	served := s.Served()
+	if served[c1] != 5 || served[c2] != 7 {
+		t.Fatalf("Served = %v", served)
+	}
+	if got := s.Servers(c2); len(got) != 2 {
+		t.Fatalf("Servers(c2) = %v", got)
+	}
+	if !s.ReplicaSet()[a] {
+		t.Fatal("ReplicaSet missing a")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+	cl := s.Clone()
+	cl.Assignments[0].Amount = 99
+	if s.Assignments[0].Amount == 99 {
+		t.Fatal("Clone shares assignment storage")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {10, 5, 2}, {11, 5, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	in := inst(t, 10, NoDistance)
+	// total = 14, W = 10 → volume bound 2.
+	if got := VolumeLowerBound(in); got != 2 {
+		t.Fatalf("VolumeLowerBound = %d, want 2", got)
+	}
+	if got := LowerBound(in); got != 2 {
+		t.Fatalf("LowerBound(NoD) = %d, want 2", got)
+	}
+	// With dmax = 0 every client must self-serve: 3 mandatory
+	// subtrees.
+	local := inst(t, 10, 0)
+	if got := LowerBound(local); got != 3 {
+		t.Fatalf("LowerBound(dmax=0) = %d, want 3", got)
+	}
+	// dmax = 3: c1 (dist 3 to a) can reach a but not root; c2 can
+	// reach a and... c2→a dist 1, a→root dist 1: c2 reaches root at 2.
+	// c3: dist 4 > 3 must self-serve. Subtree(a) mandatory = 5 (c1
+	// cannot leave a), subtree(b) mandatory = 2.
+	mid := inst(t, 10, 3)
+	if got := LowerBound(mid); got != 2 {
+		t.Fatalf("LowerBound(dmax=3) = %d, want 2", got)
+	}
+	// LowerBound dominates the volume bound.
+	if LowerBound(mid) < VolumeLowerBound(mid) {
+		t.Fatal("LowerBound must dominate VolumeLowerBound")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	for _, dmax := range []int64{NoDistance, 0, 7} {
+		in := inst(t, 10, dmax)
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dmax == NoDistance && strings.Contains(string(data), "dmax") {
+			t.Error("NoD instances must omit dmax in JSON")
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.W != in.W || back.DMax != in.DMax || back.Tree.Len() != in.Tree.Len() {
+			t.Fatalf("round trip changed the instance (dmax=%d)", dmax)
+		}
+	}
+}
+
+func TestInstanceJSONRejectsInvalid(t *testing.T) {
+	bad := []string{
+		`{"w":0,"tree":{"root":0,"nodes":[{"id":0,"parent":-1},{"id":1,"parent":0,"dist":1,"requests":1}]}}`,
+		`{"w":5,"dmax":-1,"tree":{"root":0,"nodes":[{"id":0,"parent":-1},{"id":1,"parent":0,"dist":1,"requests":1}]}}`,
+		`{"w":5}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		var in Instance
+		if err := json.Unmarshal([]byte(s), &in); err == nil {
+			t.Errorf("Unmarshal(%q) should fail", s)
+		}
+	}
+}

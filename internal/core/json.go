@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// Wire format for instances: dmax is omitted (or null) for NoD.
+type instanceJSON struct {
+	Tree *tree.Tree `json:"tree"`
+	W    int64      `json:"w"`
+	DMax *int64     `json:"dmax,omitempty"`
+}
+
+// MarshalJSON encodes the instance; an absent "dmax" means no distance
+// constraint.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	j := instanceJSON{Tree: in.Tree, W: in.W}
+	if !in.NoD() {
+		d := in.DMax
+		j.DMax = &d
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var j instanceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	ni := Instance{Tree: j.Tree, W: j.W, DMax: NoDistance}
+	if j.DMax != nil {
+		ni.DMax = *j.DMax
+	}
+	if err := ni.Validate(); err != nil {
+		return fmt.Errorf("core: invalid instance: %w", err)
+	}
+	*in = ni
+	return nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"replicatree/internal/tree"
+)
+
+// Assignment records that Amount requests of Client are processed by
+// Server. Under the Single policy a client has exactly one assignment
+// carrying all of its requests.
+type Assignment struct {
+	Client tree.NodeID `json:"client"`
+	Server tree.NodeID `json:"server"`
+	Amount int64       `json:"amount"`
+}
+
+// Solution is a replica set R together with the request assignment the
+// algorithm produced. Solutions returned by this repository's
+// algorithms are always normalised (sorted, deduplicated, zero-amount
+// assignments dropped).
+type Solution struct {
+	Replicas    []tree.NodeID `json:"replicas"`
+	Assignments []Assignment  `json:"assignments"`
+}
+
+// NumReplicas returns |R|, the objective value.
+func (s *Solution) NumReplicas() int { return len(s.Replicas) }
+
+// ReplicaSet returns R as a set.
+func (s *Solution) ReplicaSet() map[tree.NodeID]bool {
+	m := make(map[tree.NodeID]bool, len(s.Replicas))
+	for _, r := range s.Replicas {
+		m[r] = true
+	}
+	return m
+}
+
+// Loads returns the number of requests processed by each server.
+func (s *Solution) Loads() map[tree.NodeID]int64 {
+	m := make(map[tree.NodeID]int64, len(s.Replicas))
+	for _, r := range s.Replicas {
+		m[r] = 0
+	}
+	for _, a := range s.Assignments {
+		m[a.Server] += a.Amount
+	}
+	return m
+}
+
+// Served returns, per client, the total amount of requests assigned.
+func (s *Solution) Served() map[tree.NodeID]int64 {
+	m := make(map[tree.NodeID]int64)
+	for _, a := range s.Assignments {
+		m[a.Client] += a.Amount
+	}
+	return m
+}
+
+// Servers returns the set of distinct servers used by client i.
+func (s *Solution) Servers(i tree.NodeID) []tree.NodeID {
+	seen := make(map[tree.NodeID]bool)
+	var out []tree.NodeID
+	for _, a := range s.Assignments {
+		if a.Client == i && !seen[a.Server] {
+			seen[a.Server] = true
+			out = append(out, a.Server)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+// Normalize sorts and deduplicates the replica list, merges duplicate
+// (client, server) assignments and drops zero-amount entries. All
+// algorithms call it before returning.
+func (s *Solution) Normalize() {
+	sort.Slice(s.Replicas, func(a, b int) bool { return s.Replicas[a] < s.Replicas[b] })
+	s.Replicas = dedupIDs(s.Replicas)
+
+	type key struct{ c, srv tree.NodeID }
+	merged := make(map[key]int64, len(s.Assignments))
+	order := make([]key, 0, len(s.Assignments))
+	for _, a := range s.Assignments {
+		k := key{a.Client, a.Server}
+		if _, ok := merged[k]; !ok {
+			order = append(order, k)
+		}
+		merged[k] += a.Amount
+	}
+	out := s.Assignments[:0]
+	for _, k := range order {
+		if amt := merged[k]; amt != 0 {
+			out = append(out, Assignment{Client: k.c, Server: k.srv, Amount: amt})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Client != out[b].Client {
+			return out[a].Client < out[b].Client
+		}
+		return out[a].Server < out[b].Server
+	})
+	s.Assignments = out
+}
+
+func dedupIDs(ids []tree.NodeID) []tree.NodeID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the solution.
+func (s *Solution) Clone() *Solution {
+	c := &Solution{
+		Replicas:    make([]tree.NodeID, len(s.Replicas)),
+		Assignments: make([]Assignment, len(s.Assignments)),
+	}
+	copy(c.Replicas, s.Replicas)
+	copy(c.Assignments, s.Assignments)
+	return c
+}
+
+// String renders a compact summary.
+func (s *Solution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solution{|R|=%d R=%v", len(s.Replicas), s.Replicas)
+	if len(s.Assignments) <= 12 {
+		fmt.Fprintf(&b, " asg=%v", s.Assignments)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// AddReplica appends a replica if not already present (linear scan;
+// fine for construction-time use).
+func (s *Solution) AddReplica(j tree.NodeID) {
+	for _, r := range s.Replicas {
+		if r == j {
+			return
+		}
+	}
+	s.Replicas = append(s.Replicas, j)
+}
+
+// Assign appends an assignment of amt requests of client i to server
+// srv. Zero amounts are ignored.
+func (s *Solution) Assign(i, srv tree.NodeID, amt int64) {
+	if amt == 0 {
+		return
+	}
+	s.Assignments = append(s.Assignments, Assignment{Client: i, Server: srv, Amount: amt})
+}

@@ -1,0 +1,204 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// SolveSingle returns an optimal solution to the Single problem, or an
+// error if the instance is infeasible (some ri > W) or the work budget
+// is exceeded. Single is NP-hard in the strong sense even on binary
+// trees with no distance constraint (Theorem 1), so this solver is
+// exponential; use it on small instances only.
+func SolveSingle(in *core.Instance, opt Options) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.Feasible(core.Single) {
+		return nil, fmt.Errorf("exact: some client exceeds W=%d; Single has no solution", in.W)
+	}
+	clients, elig := eligible(in)
+	if len(clients) == 0 {
+		return &core.Solution{}, nil
+	}
+	// Branch on clients in decreasing request order: big unsplittable
+	// bundles first maximises pruning.
+	sort.Slice(clients, func(a, b int) bool {
+		ra, rb := in.Tree.Requests(clients[a]), in.Tree.Requests(clients[b])
+		if ra != rb {
+			return ra > rb
+		}
+		return clients[a] < clients[b]
+	})
+
+	s := &singleSearch{
+		in:      in,
+		clients: clients,
+		elig:    elig,
+		resid:   make(map[tree.NodeID]int64),
+		assign:  make(map[tree.NodeID]tree.NodeID, len(clients)),
+		budget:  opt.budget(),
+	}
+	s.remaining = make([]int64, len(clients)+1)
+	for k := len(clients) - 1; k >= 0; k-- {
+		s.remaining[k] = s.remaining[k+1] + in.Tree.Requests(clients[k])
+	}
+	s.best = len(clients) + 1 // strictly worse than the trivial solution
+	s.dfs(0)
+	if s.budget <= 0 {
+		return nil, ErrBudget
+	}
+	if s.bestAssign == nil {
+		// Trivial solution (every client serves itself) is always
+		// feasible under the Single precondition, so this is
+		// unreachable; defensive.
+		return nil, fmt.Errorf("exact: no Single solution found")
+	}
+	sol := &core.Solution{}
+	for c, srv := range s.bestAssign {
+		sol.AddReplica(srv)
+		sol.Assign(c, srv, in.Tree.Requests(c))
+	}
+	sol.Normalize()
+	if err := core.Verify(in, core.Single, sol); err != nil {
+		return nil, fmt.Errorf("exact: single solver produced infeasible solution: %w", err)
+	}
+	return sol, nil
+}
+
+type singleSearch struct {
+	in         *core.Instance
+	clients    []tree.NodeID
+	elig       map[tree.NodeID][]tree.NodeID
+	resid      map[tree.NodeID]int64 // open server -> residual capacity
+	assign     map[tree.NodeID]tree.NodeID
+	remaining  []int64 // remaining[k] = Σ requests of clients[k:]
+	best       int
+	bestAssign map[tree.NodeID]tree.NodeID
+	budget     int64
+}
+
+func (s *singleSearch) dfs(k int) {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+	open := len(s.resid)
+	if open >= s.best {
+		return
+	}
+	if k == len(s.clients) {
+		s.best = open
+		s.bestAssign = make(map[tree.NodeID]tree.NodeID, len(s.assign))
+		for c, srv := range s.assign {
+			s.bestAssign[c] = srv
+		}
+		return
+	}
+	// Optimistic bound: even if all residual capacity of open servers
+	// is usable, the overflow needs ⌈·/W⌉ new servers.
+	var residTotal int64
+	for _, r := range s.resid {
+		residTotal += r
+	}
+	if over := s.remaining[k] - residTotal; over > 0 {
+		extra := int(core.CeilDiv(over, s.in.W))
+		if open+extra >= s.best {
+			return
+		}
+	}
+
+	c := s.clients[k]
+	r := s.in.Tree.Requests(c)
+	// Try open servers first (no objective increase), then new ones.
+	for _, srv := range s.elig[c] {
+		res, isOpen := s.resid[srv]
+		if !isOpen || res < r {
+			continue
+		}
+		s.resid[srv] = res - r
+		s.assign[c] = srv
+		s.dfs(k + 1)
+		s.resid[srv] = res
+		delete(s.assign, c)
+	}
+	if open+1 >= s.best {
+		return
+	}
+	for _, srv := range s.elig[c] {
+		if _, isOpen := s.resid[srv]; isOpen {
+			continue
+		}
+		s.resid[srv] = s.in.W - r
+		s.assign[c] = srv
+		s.dfs(k + 1)
+		delete(s.resid, srv)
+		delete(s.assign, c)
+	}
+}
+
+// SingleFeasible reports whether the replica set R admits a feasible
+// Single assignment, via the same backtracking search restricted to R.
+func SingleFeasible(in *core.Instance, R []tree.NodeID, opt Options) (bool, error) {
+	rset := make(map[tree.NodeID]bool, len(R))
+	for _, s := range R {
+		rset[s] = true
+	}
+	clients, elig := eligible(in)
+	for c, servers := range elig {
+		filtered := servers[:0]
+		for _, s := range servers {
+			if rset[s] {
+				filtered = append(filtered, s)
+			}
+		}
+		elig[c] = filtered
+		if len(filtered) == 0 {
+			return false, nil
+		}
+	}
+	sort.Slice(clients, func(a, b int) bool {
+		ra, rb := in.Tree.Requests(clients[a]), in.Tree.Requests(clients[b])
+		if ra != rb {
+			return ra > rb
+		}
+		return clients[a] < clients[b]
+	})
+	resid := make(map[tree.NodeID]int64, len(R))
+	for _, s := range R {
+		resid[s] = in.W
+	}
+	budget := opt.budget()
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if k == len(clients) {
+			return true
+		}
+		c := clients[k]
+		r := in.Tree.Requests(c)
+		for _, srv := range elig[c] {
+			if resid[srv] < r {
+				continue
+			}
+			resid[srv] -= r
+			if dfs(k + 1) {
+				resid[srv] += r
+				return true
+			}
+			resid[srv] += r
+		}
+		return false
+	}
+	ok := dfs(0)
+	if !ok && budget <= 0 {
+		return false, ErrBudget
+	}
+	return ok, nil
+}

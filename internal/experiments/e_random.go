@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/gen"
+	"replicatree/internal/multiple"
+	"replicatree/internal/single"
+	"replicatree/internal/stats"
+)
+
+// E4NoDRatio reproduces Corollary 1: without distance constraints,
+// single-gen is a Δ-approximation. We measure its empirical ratio
+// against the exact optimum on random instances grouped by arity.
+func E4NoDRatio(scale Scale, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed + 4))
+	trials := 30
+	if scale == Full {
+		trials = 120
+	}
+	tab := stats.NewTable("single-gen on random Single-NoD instances",
+		"Δ", "trials", "mean ratio", "max ratio", "bound Δ", "holds")
+	ok := true
+	for _, arity := range []int{2, 3, 4} {
+		var ratios []float64
+		for i := 0; i < trials; i++ {
+			in := gen.RandomInstance(rng, gen.TreeConfig{
+				Internals:    1 + rng.Intn(4),
+				MaxArity:     arity,
+				MaxDist:      3,
+				MaxReq:       9,
+				ExtraClients: rng.Intn(3),
+			}, false)
+			sol, err := single.Gen(in)
+			if err != nil {
+				ok = false
+				continue
+			}
+			opt, err := exact.SolveSingle(in, exact.Options{})
+			if err != nil {
+				ok = false
+				continue
+			}
+			ratios = append(ratios, float64(sol.NumReplicas())/float64(opt.NumReplicas()))
+		}
+		holds := stats.Max(ratios) <= float64(arity)+1e-9
+		if !holds {
+			ok = false
+		}
+		tab.AddRow(arity, len(ratios), stats.Mean(ratios), stats.Max(ratios), arity, holds)
+	}
+	return &Result{
+		ID:    "E4",
+		Title: "Corollary 1 — single-gen is a Δ-approximation for Single-NoD",
+		Table: tab,
+		Notes: []string{"random trees; optimum from the exact branch-and-bound solver"},
+		OK:    ok,
+	}
+}
+
+// E7MultipleBinOptimal reproduces (and stress-tests) Theorem 6. It
+// measures three variants on random binary instances with ri ≤ W:
+// the faithful Algorithm 3 ("eager"), the Lazy variant that drops the
+// eager capacity trigger, and Best (the better of the two). The NoD
+// rows confirm Theorem 6's claim fully; the with-distance rows expose
+// the reproduction finding: the eager rule admits rare off-by-one
+// counterexamples (a pinned 8-node example lives in
+// multiple/counterexample_test.go), which Lazy repairs — while Lazy
+// alone loses elsewhere, so Best dominates both.
+func E7MultipleBinOptimal(scale Scale, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed + 7))
+	trials := 60
+	if scale == Full {
+		trials = 300
+	}
+	tab := stats.NewTable("Algorithm 3 variants vs exact optimum on random binary instances",
+		"variant", "distance", "trials", "optimal", "rate", "max gap")
+	ok := true
+	variants := []struct {
+		name string
+		fn   func(*core.Instance) (*core.Solution, error)
+	}{
+		{"eager (paper)", multiple.Bin},
+		{"lazy", multiple.Lazy},
+		{"best", multiple.Best},
+	}
+	for _, withD := range []bool{false, true} {
+		// One shared instance stream per distance regime so the
+		// variants are compared on identical inputs.
+		ins := make([]*core.Instance, trials)
+		opts := make([]int, trials)
+		for i := 0; i < trials; i++ {
+			ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
+				Internals:    1 + rng.Intn(5),
+				MaxArity:     2,
+				MaxDist:      3,
+				MaxReq:       9,
+				ExtraClients: rng.Intn(3),
+			}, withD)
+			opt, err := exact.SolveMultiple(ins[i], exact.Options{})
+			if err != nil {
+				return &Result{ID: "E7", Title: "Theorem 6", Table: tab,
+					Notes: []string{"exact solver failed: " + err.Error()}}
+			}
+			opts[i] = opt.NumReplicas()
+		}
+		for _, v := range variants {
+			optimal, maxGap := 0, 0
+			for i := 0; i < trials; i++ {
+				sol, err := v.fn(ins[i])
+				if err != nil {
+					ok = false
+					continue
+				}
+				gap := sol.NumReplicas() - opts[i]
+				if gap == 0 {
+					optimal++
+				}
+				if gap > maxGap {
+					maxGap = gap
+				}
+			}
+			rate := float64(optimal) / float64(trials)
+			// Gate: Theorem 6 must hold exactly for the faithful
+			// algorithm without distance constraints, and Best must
+			// stay ≥ 99% optimal overall.
+			if v.name == "eager (paper)" && !withD && optimal != trials {
+				ok = false
+			}
+			if v.name == "best" && rate < 0.99 {
+				ok = false
+			}
+			tab.AddRow(v.name, distLabel(withD), trials, optimal, rate, maxGap)
+		}
+	}
+	return &Result{
+		ID:    "E7",
+		Title: "Theorem 6 — multiple-bin optimality (reproduction finding: eager rule not tight under dmax)",
+		Table: tab,
+		Notes: []string{
+			"NoD rows: Theorem 6 reproduces exactly for the faithful algorithm",
+			"with-distance rows: the faithful algorithm admits rare +1 counterexamples (pinned in the test suite); Best = min(eager, lazy) restores ≥99% optimality",
+		},
+		OK: ok,
+	}
+}
+
+// E8GreedyMultiple measures the generalised Algorithm 3 on
+// general-arity trees: the regime [3] proves polynomial (NoD) and the
+// NP-hard distance-constrained regime, where it is a heuristic.
+func E8GreedyMultiple(scale Scale, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed + 8))
+	trials := 60
+	if scale == Full {
+		trials = 250
+	}
+	tab := stats.NewTable("generalised greedy (arity > 2) vs exact optimum",
+		"regime", "trials", "optimal", "rate", "mean gap", "max gap")
+	ok := true
+	worstGapNoD := 0
+	for _, withD := range []bool{false, true} {
+		optimal := 0
+		var gaps []float64
+		for i := 0; i < trials; i++ {
+			in := gen.RandomInstance(rng, gen.TreeConfig{
+				Internals:    1 + rng.Intn(4),
+				MaxArity:     3 + rng.Intn(2),
+				MaxDist:      3,
+				MaxReq:       9,
+				ExtraClients: rng.Intn(4),
+			}, withD)
+			sol, err := multiple.Greedy(in)
+			if err != nil {
+				ok = false
+				continue
+			}
+			opt, err := exact.SolveMultiple(in, exact.Options{})
+			if err != nil {
+				ok = false
+				continue
+			}
+			gap := sol.NumReplicas() - opt.NumReplicas()
+			if gap == 0 {
+				optimal++
+			}
+			if !withD && gap > worstGapNoD {
+				worstGapNoD = gap
+			}
+			gaps = append(gaps, float64(gap))
+		}
+		tab.AddRow(distLabel(withD), trials, optimal,
+			float64(optimal)/float64(trials), stats.Mean(gaps), stats.Max(gaps))
+	}
+	return &Result{
+		ID:    "E8",
+		Title: "Multiple on general trees — greedy generalisation of Algorithm 3 vs optimum",
+		Table: tab,
+		Notes: []string{
+			"NoD row: the regime the paper cites as polynomially solvable [3]; the greedy matches the optimum empirically",
+			"distance row: the general problem is NP-hard — any gap here is the price of polynomial time",
+			fmt.Sprintf("worst NoD gap observed: %d", worstGapNoD),
+		},
+		OK: ok,
+	}
+}
+
+func distLabel(withD bool) string {
+	if withD {
+		return "with-distance"
+	}
+	return "NoD"
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuickReproduces runs every experiment at Quick scale and
+// requires each to report REPRODUCED — this is the repository's
+// one-shot "does the paper reproduce?" check.
+func TestAllQuickReproduces(t *testing.T) {
+	results := All(Quick, 1)
+	if len(results) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Table == nil || r.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if !r.OK {
+			t.Errorf("%s (%s): MISMATCH\n%s", r.ID, r.Title, r)
+		}
+		s := r.String()
+		if !strings.Contains(s, r.ID) || !strings.Contains(s, "status:") {
+			t.Errorf("%s: malformed rendering", r.ID)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestE3ClosedForms(t *testing.T) {
+	r := E3TightSingleGen(Quick)
+	if !r.OK {
+		t.Fatalf("E3 mismatch:\n%s", r)
+	}
+	// 2 deltas × 4 ms at Quick scale.
+	if r.Table.NumRows() != 8 {
+		t.Fatalf("E3 rows = %d, want 8", r.Table.NumRows())
+	}
+}
+
+func TestE5ClosedForms(t *testing.T) {
+	r := E5TightSingleNoD(Quick)
+	if !r.OK {
+		t.Fatalf("E5 mismatch:\n%s", r)
+	}
+	if r.Table.NumRows() != 4 {
+		t.Fatalf("E5 rows = %d, want 4", r.Table.NumRows())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := E7MultipleBinOptimal(Quick, 5)
+	b := E7MultipleBinOptimal(Quick, 5)
+	if a.Table.String() != b.Table.String() {
+		t.Fatal("same seed must reproduce the same table")
+	}
+}
+
+func TestResultStringStatus(t *testing.T) {
+	r := E5TightSingleNoD(Quick)
+	if !strings.Contains(r.String(), "REPRODUCED") {
+		t.Fatalf("expected REPRODUCED status:\n%s", r)
+	}
+	r.OK = false
+	if !strings.Contains(r.String(), "MISMATCH") {
+		t.Fatal("expected MISMATCH status")
+	}
+}

@@ -1,0 +1,118 @@
+// Package flow implements Dinic's maximum-flow algorithm on small
+// integer-capacity networks. It is the feasibility oracle of the exact
+// Multiple-policy solver: given a fixed replica set, deciding whether
+// all client requests can be routed to eligible servers is a
+// transportation problem solved by max-flow.
+package flow
+
+// Network is a directed flow network under construction. Nodes are
+// dense ints; add edges with AddEdge, then call MaxFlow.
+type Network struct {
+	n     int
+	head  []int32 // head[v]: first arc index of v, -1 if none
+	next  []int32 // next arc in v's list
+	to    []int32
+	cap   []int64
+	level []int32
+	iter  []int32
+}
+
+// NewNetwork returns a network with n nodes and no arcs.
+func NewNetwork(n int) *Network {
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &Network{n: n, head: h}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity (and the
+// reverse residual arc with capacity 0). It returns the arc index,
+// which can be used with Flow to read how much was routed.
+func (g *Network) AddEdge(u, v int, capacity int64) int {
+	idx := len(g.to)
+	g.push(u, v, capacity)
+	g.push(v, u, 0)
+	return idx
+}
+
+func (g *Network) push(u, v int, c int64) {
+	g.to = append(g.to, int32(v))
+	g.cap = append(g.cap, c)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = int32(len(g.to) - 1)
+}
+
+// Flow returns the amount of flow routed on the arc returned by
+// AddEdge, i.e. its original capacity minus its residual capacity.
+// Must be called after MaxFlow; origCap is the capacity passed to
+// AddEdge.
+func (g *Network) Flow(arc int, origCap int64) int64 {
+	return origCap - g.cap[arc]
+}
+
+// MaxFlow computes the maximum s→t flow.
+func (g *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	g.level = make([]int32, g.n)
+	g.iter = make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	for g.bfs(s, t, &queue) {
+		copy(g.iter, g.head)
+		for {
+			f := g.dfs(s, t, int64(1)<<62)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Network) bfs(s, t int, queue *[]int32) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	q := (*queue)[:0]
+	g.level[s] = 0
+	q = append(q, int32(s))
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for e := g.head[v]; e != -1; e = g.next[e] {
+			if g.cap[e] > 0 && g.level[g.to[e]] < 0 {
+				g.level[g.to[e]] = g.level[v] + 1
+				q = append(q, g.to[e])
+			}
+		}
+	}
+	*queue = q
+	return g.level[t] >= 0
+}
+
+func (g *Network) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] != -1; g.iter[v] = g.next[g.iter[v]] {
+		e := g.iter[v]
+		u := g.to[e]
+		if g.cap[e] > 0 && g.level[u] == g.level[v]+1 {
+			min := f
+			if g.cap[e] < min {
+				min = g.cap[e]
+			}
+			d := g.dfs(int(u), t, min)
+			if d > 0 {
+				g.cap[e] -= d
+				g.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}

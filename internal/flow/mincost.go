@@ -1,0 +1,137 @@
+package flow
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// CostNetwork is a directed network for min-cost max-flow, solved with
+// successive shortest paths and Johnson potentials (Dijkstra), which
+// requires non-negative arc costs.
+type CostNetwork struct {
+	n    int
+	head []int32
+	next []int32
+	to   []int32
+	cap  []int64
+	cost []int64
+}
+
+// NewCostNetwork returns an empty cost network with n nodes.
+func NewCostNetwork(n int) *CostNetwork {
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &CostNetwork{n: n, head: h}
+}
+
+// AddEdge adds u→v with the given capacity and per-unit cost (≥ 0).
+// Returns the arc index for Flow.
+func (g *CostNetwork) AddEdge(u, v int, capacity, cost int64) int {
+	if cost < 0 {
+		panic("flow: negative arc cost")
+	}
+	idx := len(g.to)
+	g.push(u, v, capacity, cost)
+	g.push(v, u, 0, -cost)
+	return idx
+}
+
+func (g *CostNetwork) push(u, v int, c, w int64) {
+	g.to = append(g.to, int32(v))
+	g.cap = append(g.cap, c)
+	g.cost = append(g.cost, w)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = int32(len(g.to) - 1)
+}
+
+// Flow returns the flow routed on the arc returned by AddEdge.
+func (g *CostNetwork) Flow(arc int, origCap int64) int64 {
+	return origCap - g.cap[arc]
+}
+
+// ErrNegativeCycle is unreachable with non-negative costs but kept for
+// API clarity.
+var ErrNegativeCycle = errors.New("flow: negative cycle")
+
+type pqItem struct {
+	node int32
+	dist int64
+}
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	x := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return x
+}
+
+// MinCostMaxFlow routes the maximum s→t flow at minimum total cost and
+// returns (flow, cost).
+func (g *CostNetwork) MinCostMaxFlow(s, t int) (int64, int64) {
+	const inf = math.MaxInt64 / 4
+	pot := make([]int64, g.n)
+	dist := make([]int64, g.n)
+	prevArc := make([]int32, g.n)
+	var totalFlow, totalCost int64
+
+	for {
+		for i := range dist {
+			dist[i] = inf
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		h := pq{{int32(s), 0}}
+		for len(h) > 0 {
+			it := heap.Pop(&h).(pqItem)
+			v := it.node
+			if it.dist > dist[v] {
+				continue
+			}
+			for e := g.head[v]; e != -1; e = g.next[e] {
+				if g.cap[e] <= 0 {
+					continue
+				}
+				u := g.to[e]
+				nd := dist[v] + g.cost[e] + pot[v] - pot[u]
+				if nd < dist[u] {
+					dist[u] = nd
+					prevArc[u] = e
+					heap.Push(&h, pqItem{u, nd})
+				}
+			}
+		}
+		if dist[t] >= inf {
+			return totalFlow, totalCost
+		}
+		for i := range pot {
+			if dist[i] < inf {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the shortest path.
+		push := int64(inf)
+		for v := int32(t); v != int32(s); {
+			e := prevArc[v]
+			if g.cap[e] < push {
+				push = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := int32(t); v != int32(s); {
+			e := prevArc[v]
+			g.cap[e] -= push
+			g.cap[e^1] += push
+			totalCost += push * g.cost[e]
+			v = g.to[e^1]
+		}
+		totalFlow += push
+	}
+}

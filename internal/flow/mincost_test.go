@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinCostSimplePath(t *testing.T) {
+	g := NewCostNetwork(3)
+	g.AddEdge(0, 1, 5, 2)
+	g.AddEdge(1, 2, 5, 3)
+	f, c := g.MinCostMaxFlow(0, 2)
+	if f != 5 || c != 25 {
+		t.Fatalf("flow=%d cost=%d, want 5, 25", f, c)
+	}
+}
+
+func TestMinCostPrefersCheapPath(t *testing.T) {
+	// Two parallel paths: cheap (cost 1, cap 3) and expensive
+	// (cost 10, cap 10). Demand 5 → 3 cheap + 2 expensive = 23.
+	g := NewCostNetwork(4)
+	g.AddEdge(0, 1, 5, 0)
+	g.AddEdge(1, 3, 3, 1)
+	g.AddEdge(1, 2, 10, 0)
+	g.AddEdge(2, 3, 10, 10)
+	f, c := g.MinCostMaxFlow(0, 3)
+	if f != 5 || c != 3*1+2*10 {
+		t.Fatalf("flow=%d cost=%d, want 5, 23", f, c)
+	}
+}
+
+func TestMinCostReroutesThroughResidual(t *testing.T) {
+	// Classic case where a later augmentation must undo part of an
+	// earlier one via the residual arc.
+	g := NewCostNetwork(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(1, 3, 1, 5)
+	g.AddEdge(2, 3, 1, 1)
+	f, c := g.MinCostMaxFlow(0, 3)
+	// Max flow 2: paths 0-1-2-3 (cost 3) + 0-2... cap(0,2)=1 and
+	// 0-1-3: total best = (0-1-2-3)+(0-2-3 blocked by cap(2,3)=1)...
+	// optimal: 0-1-2-3 (3) and 0-2-3 impossible (2-3 saturated), so
+	// 0-2 + residual 2-1 + 1-3: 5+(-1)+5 = 9 → total 12? Or route
+	// 0-1-3 (6) + 0-2-3 (6) = 12. Either way flow 2, cost 12.
+	if f != 2 || c != 12 {
+		t.Fatalf("flow=%d cost=%d, want 2, 12", f, c)
+	}
+}
+
+func TestMinCostDisconnected(t *testing.T) {
+	g := NewCostNetwork(2)
+	f, c := g.MinCostMaxFlow(0, 1)
+	if f != 0 || c != 0 {
+		t.Fatalf("flow=%d cost=%d", f, c)
+	}
+}
+
+func TestMinCostNegativeCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative cost")
+		}
+	}()
+	g := NewCostNetwork(2)
+	g.AddEdge(0, 1, 1, -1)
+}
+
+// TestMinCostMatchesMaxFlow: the flow value agrees with Dinic on
+// random networks (cost structure cannot change the max flow).
+func TestMinCostMatchesMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		g1 := NewNetwork(n)
+		g2 := NewCostNetwork(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(3) == 0 {
+					c := 1 + rng.Int63n(9)
+					w := rng.Int63n(5)
+					g1.AddEdge(i, j, c)
+					g2.AddEdge(i, j, c, w)
+				}
+			}
+		}
+		f1 := g1.MaxFlow(0, n-1)
+		f2, _ := g2.MinCostMaxFlow(0, n-1)
+		if f1 != f2 {
+			t.Fatalf("trial %d: dinic %d != mincost %d", trial, f1, f2)
+		}
+	}
+}

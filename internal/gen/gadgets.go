@@ -1,0 +1,246 @@
+// Package gen builds problem instances: the five gadget families used
+// in the paper's proofs and figures, partition-problem instance
+// generators feeding them, and random distribution trees for the
+// statistical experiments.
+package gen
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// GadgetI2 builds instance I2 of Theorem 1 / Fig. 1: the reduction
+// from 3-Partition to Single-NoD-Bin. as must hold 3m integers with
+// B/4 < ai < B/2 and Σai = mB. The returned instance is a binary tree
+// with capacity W = B; it admits a solution with K = m replicas iff
+// the 3-Partition instance is a YES instance.
+//
+// Topology: a chain of m internal nodes n1..nm (nm the root) sits on
+// top of a binary comb carrying the 3m clients, so that every ni sees
+// every client — exactly what lets an arbitrary triple be assigned to
+// a single server.
+func GadgetI2(as []int64, B int64) (*core.Instance, int, error) {
+	if len(as)%3 != 0 || len(as) == 0 {
+		return nil, 0, fmt.Errorf("gen: I2 needs 3m integers, got %d", len(as))
+	}
+	m := len(as) / 3
+	var sum int64
+	for _, a := range as {
+		if !(a > B/4 && a < (B+1)/2) {
+			return nil, 0, fmt.Errorf("gen: I2 requires B/4 < ai < B/2, got ai=%d B=%d", a, B)
+		}
+		sum += a
+	}
+	if sum != int64(m)*B {
+		return nil, 0, fmt.Errorf("gen: I2 requires Σai = mB, got %d != %d", sum, int64(m)*B)
+	}
+	b := tree.NewBuilder()
+	cur := b.Root(fmt.Sprintf("n%d", m))
+	for i := m - 1; i >= 1; i-- {
+		cur = b.Internal(cur, 1, fmt.Sprintf("n%d", i))
+	}
+	// Binary comb below n1: each spine node carries one client.
+	for i := 0; i < len(as)-1; i++ {
+		spine := b.Internal(cur, 1, fmt.Sprintf("y%d", i+1))
+		b.Client(spine, 1, as[i], fmt.Sprintf("c%d", i+1))
+		cur = spine
+	}
+	b.Client(cur, 1, as[len(as)-1], fmt.Sprintf("c%d", len(as)))
+	t, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return &core.Instance{Tree: t, W: B, DMax: core.NoDistance}, m, nil
+}
+
+// GadgetI4 builds instance I4 of Theorem 2 / Fig. 2: the reduction
+// from 2-Partition showing there is no (3/2−ε)-approximation for
+// Single-NoD-Bin. as must have an even sum S; the capacity is W = S/2
+// and the instance has a 2-replica solution (at r and n1) iff the
+// 2-Partition instance is a YES instance.
+func GadgetI4(as []int64) (*core.Instance, error) {
+	var sum int64
+	for _, a := range as {
+		if a <= 0 {
+			return nil, fmt.Errorf("gen: I4 requires positive integers, got %d", a)
+		}
+		sum += a
+	}
+	if sum%2 != 0 {
+		// An odd total still builds (W = ⌊S/2⌋ would change the
+		// semantics), so require the caller to pad instead.
+		return nil, fmt.Errorf("gen: I4 requires an even total, got %d", sum)
+	}
+	if len(as) < 2 {
+		return nil, fmt.Errorf("gen: I4 needs at least two integers")
+	}
+	for _, a := range as {
+		if a > sum/2 {
+			return nil, fmt.Errorf("gen: I4 requires ai ≤ S/2, got %d > %d", a, sum/2)
+		}
+	}
+	b := tree.NewBuilder()
+	r := b.Root("r")
+	cur := b.Internal(r, 1, "n1")
+	for i := 0; i < len(as)-1; i++ {
+		spine := b.Internal(cur, 1, fmt.Sprintf("y%d", i+1))
+		b.Client(spine, 1, as[i], fmt.Sprintf("c%d", i+1))
+		cur = spine
+	}
+	b.Client(cur, 1, as[len(as)-1], fmt.Sprintf("c%d", len(as)))
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Instance{Tree: t, W: sum / 2, DMax: core.NoDistance}, nil
+}
+
+// ImResult carries the tight instance of Theorem 3 / Fig. 3 together
+// with the paper's closed forms for it.
+type ImResult struct {
+	Instance *core.Instance
+	M        int
+	Delta    int
+	// AlgoReplicas is the number of replicas single-gen places:
+	// m·(Δ+1).
+	AlgoReplicas int
+	// OptReplicas is the optimal count: m+1.
+	OptReplicas int
+}
+
+// GadgetIm builds the family Im on which Algorithm 1 reaches its
+// approximation ratio of Δ+1: ratio(m) = m(Δ+1)/(m+1). Requires
+// m ≥ 1, Δ ≥ 2. Parameters follow the paper: W = mΔ+Δ−1, dmax = 4m,
+// all edges of length 1 except (ci,Δ → ni,1) of length dmax.
+func GadgetIm(m, delta int) (*ImResult, error) {
+	if m < 1 || delta < 2 {
+		return nil, fmt.Errorf("gen: Im requires m ≥ 1 and Δ ≥ 2, got m=%d Δ=%d", m, delta)
+	}
+	mi, di := int64(m), int64(delta)
+	W := mi*di + di - 1
+	dmax := 4 * mi
+	b := tree.NewBuilder()
+	top := b.Root("n0")
+	for i := 1; i <= m; i++ {
+		n1 := b.Internal(top, 1, fmt.Sprintf("n%d,1", i))
+		b.Client(n1, dmax, di-1, fmt.Sprintf("c%d,%d", i, delta))
+		n2 := b.Internal(n1, 1, fmt.Sprintf("n%d,2", i))
+		for j := 1; j <= delta-2; j++ {
+			b.Client(n2, 1, 1, fmt.Sprintf("c%d,%d", i, j))
+		}
+		b.Client(n2, 1, mi*di, fmt.Sprintf("c%d,%d", i, delta-1))
+		n3 := b.Internal(n2, 1, fmt.Sprintf("n%d,3", i))
+		b.Client(n3, 1, 2, fmt.Sprintf("c%d,%d", i, delta+1))
+		top = n3
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &ImResult{
+		Instance:     &core.Instance{Tree: t, W: W, DMax: dmax},
+		M:            m,
+		Delta:        delta,
+		AlgoReplicas: m * (delta + 1),
+		OptReplicas:  m + 1,
+	}, nil
+}
+
+// Fig4Result carries the tight instance of Theorem 4 / Fig. 4.
+type Fig4Result struct {
+	Instance *core.Instance
+	K        int
+	// AlgoReplicas = 2K: what single-nod places.
+	AlgoReplicas int
+	// OptReplicas = K+1.
+	OptReplicas int
+}
+
+// GadgetFig4 builds the family on which Algorithm 2 reaches its
+// approximation ratio of 2: W = K; K internal nodes each with one
+// client of K requests and one client of 1 request; no distance
+// constraint. single-nod uses 2K replicas, the optimum K+1.
+func GadgetFig4(k int) (*Fig4Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: Fig4 requires K ≥ 1, got %d", k)
+	}
+	b := tree.NewBuilder()
+	r := b.Root("r")
+	for i := 1; i <= k; i++ {
+		ni := b.Internal(r, 1, fmt.Sprintf("n%d", i))
+		b.Client(ni, 1, int64(k), fmt.Sprintf("big%d", i))
+		b.Client(ni, 1, 1, fmt.Sprintf("small%d", i))
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{
+		Instance:     &core.Instance{Tree: t, W: int64(k), DMax: core.NoDistance},
+		K:            k,
+		AlgoReplicas: 2 * k,
+		OptReplicas:  k + 1,
+	}, nil
+}
+
+// GadgetI6 builds instance I6 of Theorem 5 / Fig. 5: the reduction
+// from 2-Partition-Equal showing Multiple-Bin is NP-hard when a client
+// may exceed the server capacity. as must hold 2m positive integers
+// with an even sum S and ai ≤ S/4 (so that bi = S/2 − 2ai ≥ 0). The
+// instance has W = S/2 + 1, dmax = 3m, and admits a Multiple solution
+// with K = 4m replicas iff some m-subset of as sums to S/2.
+func GadgetI6(as []int64) (*core.Instance, int, error) {
+	if len(as)%2 != 0 || len(as) < 4 {
+		return nil, 0, fmt.Errorf("gen: I6 needs 2m ≥ 4 integers, got %d", len(as))
+	}
+	m := len(as) / 2
+	var S int64
+	for _, a := range as {
+		if a <= 0 {
+			return nil, 0, fmt.Errorf("gen: I6 requires positive integers, got %d", a)
+		}
+		S += a
+	}
+	if S%2 != 0 {
+		return nil, 0, fmt.Errorf("gen: I6 requires an even total, got %d", S)
+	}
+	for _, a := range as {
+		if S/2-2*a < 0 {
+			return nil, 0, fmt.Errorf("gen: I6 requires ai ≤ S/4 so that bi ≥ 0, got ai=%d S=%d", a, S)
+		}
+	}
+	W := S/2 + 1
+	dmax := int64(3 * m)
+
+	// Internal nodes n1..n_{5m-1}; build top-down from the root
+	// n_{5m-1} along the chain n_{5m-1} → … → n_{2m+1}, attaching the
+	// leaf gadgets as we go.
+	b := tree.NewBuilder()
+	nodes := make([]tree.NodeID, 5*m) // nodes[j] = n_j, 1-based
+	nodes[5*m-1] = b.Root(fmt.Sprintf("n%d", 5*m-1))
+	for j := 5*m - 2; j >= 2*m+1; j-- {
+		nodes[j] = b.Internal(nodes[j+1], 1, fmt.Sprintf("n%d", j))
+	}
+	// n_j for 1 ≤ j ≤ 2m hangs under n_{2m+j} and carries two clients.
+	for j := 1; j <= 2*m; j++ {
+		nodes[j] = b.Internal(nodes[2*m+j], 1, fmt.Sprintf("n%d", j))
+		b.Client(nodes[j], int64(j+m-2), as[j-1], fmt.Sprintf("a%d", j))
+		b.Client(nodes[j], 1, S/2-2*as[j-1], fmt.Sprintf("b%d", j))
+	}
+	// One client with a single request at distance dmax under each of
+	// n_{4m+1}..n_{5m-1}.
+	for j := 4*m + 1; j <= 5*m-1; j++ {
+		b.Client(nodes[j], dmax, 1, fmt.Sprintf("u%d", j))
+	}
+	// The big client with (2m+1)·W requests at distance m+1 under
+	// n_{2m+1}.
+	b.Client(nodes[2*m+1], int64(m+1), int64(2*m+1)*W, "big")
+
+	t, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return &core.Instance{Tree: t, W: W, DMax: dmax}, 4 * m, nil
+}

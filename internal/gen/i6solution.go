@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// FindLabel returns the node with the given label, or tree.None.
+func FindLabel(t *tree.Tree, label string) tree.NodeID {
+	for j := 0; j < t.Len(); j++ {
+		if t.Label(tree.NodeID(j)) == label {
+			return tree.NodeID(j)
+		}
+	}
+	return tree.None
+}
+
+// I6Solution materialises the 4m-replica solution constructed in the
+// proof of Theorem 5 for instance I6, given the index set I (1-based
+// indices into as, |I| = m, Σ_{i∈I} ai = S/2). The returned solution
+// verifies against the instance iff I is a valid 2-Partition-Equal
+// certificate; callers should run core.Verify on it. This is the
+// computational forward direction of the NP-hardness reduction.
+func I6Solution(in *core.Instance, as []int64, I []int) (*core.Solution, error) {
+	m := len(as) / 2
+	if len(I) != m {
+		return nil, fmt.Errorf("gen: I6Solution needs |I| = m = %d, got %d", m, len(I))
+	}
+	t := in.Tree
+	var S int64
+	for _, a := range as {
+		S += a
+	}
+	W := in.W // = S/2 + 1
+
+	node := func(label string) (tree.NodeID, error) {
+		id := FindLabel(t, label)
+		if id == tree.None {
+			return id, fmt.Errorf("gen: I6Solution: node %q not found", label)
+		}
+		return id, nil
+	}
+
+	inI := make(map[int]bool, m)
+	for _, i := range I {
+		if i < 1 || i > 2*m {
+			return nil, fmt.Errorf("gen: I6Solution index %d out of range", i)
+		}
+		inI[i] = true
+	}
+
+	sol := &core.Solution{}
+	// Replicas: n_i for i ∈ I, n_{2m+1}..n_{5m-1}, and the big client.
+	for i := range inI {
+		n, err := node(fmt.Sprintf("n%d", i))
+		if err != nil {
+			return nil, err
+		}
+		sol.AddReplica(n)
+	}
+	chain := make([]tree.NodeID, 0, 3*m-1)
+	for j := 2*m + 1; j <= 5*m-1; j++ {
+		n, err := node(fmt.Sprintf("n%d", j))
+		if err != nil {
+			return nil, err
+		}
+		sol.AddReplica(n)
+		chain = append(chain, n)
+	}
+	big, err := node("big")
+	if err != nil {
+		return nil, err
+	}
+	sol.AddReplica(big)
+
+	// The big client's (2m+1)·W requests: W at itself and W at each of
+	// n_{2m+1}..n_{4m}.
+	sol.Assign(big, big, W)
+	for j := 2*m + 1; j <= 4*m; j++ {
+		n, _ := node(fmt.Sprintf("n%d", j))
+		sol.Assign(big, n, W)
+	}
+	// Each unit client u_j is served by its parent n_j.
+	for j := 4*m + 1; j <= 5*m-1; j++ {
+		u, err := node(fmt.Sprintf("u%d", j))
+		if err != nil {
+			return nil, err
+		}
+		n, _ := node(fmt.Sprintf("n%d", j))
+		sol.Assign(u, n, 1)
+	}
+	// Clients of n_i, i ∈ I: both served by n_i (load ai + bi =
+	// S/2 − ai ≤ S/2 < W).
+	for i := 1; i <= 2*m; i++ {
+		ai, err := node(fmt.Sprintf("a%d", i))
+		if err != nil {
+			return nil, err
+		}
+		bi, err := node(fmt.Sprintf("b%d", i))
+		if err != nil {
+			return nil, err
+		}
+		ra, rb := t.Requests(ai), t.Requests(bi)
+		if inI[i] {
+			n, _ := node(fmt.Sprintf("n%d", i))
+			sol.Assign(ai, n, ra)
+			sol.Assign(bi, n, rb)
+			continue
+		}
+		// i ∉ I: a_i goes to n_{4m+1}; b_i is spread over
+		// n_{4m+2}..n_{5m-1} below.
+		n4m1, _ := node(fmt.Sprintf("n%d", 4*m+1))
+		sol.Assign(ai, n4m1, ra)
+	}
+	// Spread the b_i (i ∉ I) over the top chain nodes, S/2 capacity
+	// each (they already serve their unit client).
+	capLeft := make(map[tree.NodeID]int64)
+	tops := make([]tree.NodeID, 0, m-2)
+	for j := 4*m + 2; j <= 5*m-1; j++ {
+		n, _ := node(fmt.Sprintf("n%d", j))
+		tops = append(tops, n)
+		capLeft[n] = W - 1
+	}
+	k := 0
+	for i := 1; i <= 2*m; i++ {
+		if inI[i] {
+			continue
+		}
+		bi, _ := node(fmt.Sprintf("b%d", i))
+		rem := t.Requests(bi)
+		for rem > 0 {
+			if k >= len(tops) {
+				return nil, fmt.Errorf("gen: I6Solution ran out of capacity for b clients (I is not a certificate?)")
+			}
+			n := tops[k]
+			take := rem
+			if take > capLeft[n] {
+				take = capLeft[n]
+			}
+			sol.Assign(bi, n, take)
+			capLeft[n] -= take
+			rem -= take
+			if capLeft[n] == 0 {
+				k++
+			}
+		}
+	}
+	sol.Normalize()
+	return sol, nil
+}

@@ -1,0 +1,183 @@
+package gen
+
+import "math/rand"
+
+// This file generates and decides instances of the three partition
+// problems the paper reduces from. The deciders are exponential-time
+// brute force, used to label gadget instances as YES/NO in the
+// NP-hardness reproduction experiments.
+
+// ThreePartitionYes generates a YES instance of 3-Partition: 3m
+// integers in (B/4, B/2) partitionable into m triples of sum B.
+// B must be ≥ 8 and divisible by 4 for comfortable slack.
+func ThreePartitionYes(rng *rand.Rand, m int, B int64) []int64 {
+	lo, hi := B/4+1, (B+1)/2-1 // valid ai range (strict bounds)
+	out := make([]int64, 0, 3*m)
+	for k := 0; k < m; k++ {
+		for {
+			x := lo + rng.Int63n(hi-lo+1)
+			y := lo + rng.Int63n(hi-lo+1)
+			z := B - x - y
+			if z >= lo && z <= hi {
+				out = append(out, x, y, z)
+				break
+			}
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ThreePartitionExists decides whether the 3m integers can be split
+// into m triples each summing to B, by bitmask DFS with memoisation.
+// Practical for m ≤ 4 (12 items).
+func ThreePartitionExists(as []int64, B int64) bool {
+	n := len(as)
+	if n%3 != 0 {
+		return false
+	}
+	var total int64
+	for _, a := range as {
+		total += a
+	}
+	if total != int64(n/3)*B {
+		return false
+	}
+	full := (1 << n) - 1
+	memo := make(map[int]bool)
+	var rec func(mask int) bool
+	rec = func(mask int) bool {
+		if mask == full {
+			return true
+		}
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		// First free item anchors the next triple, avoiding duplicate
+		// orderings.
+		i := 0
+		for mask&(1<<i) != 0 {
+			i++
+		}
+		ok := false
+		for j := i + 1; j < n && !ok; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			for k := j + 1; k < n && !ok; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				if as[i]+as[j]+as[k] == B {
+					ok = rec(mask | 1<<i | 1<<j | 1<<k)
+				}
+			}
+		}
+		memo[mask] = ok
+		return ok
+	}
+	return rec(0)
+}
+
+// TwoPartitionYes generates a YES instance of 2-Partition by mirroring
+// k random positive integers (so I = the first copy works).
+func TwoPartitionYes(rng *rand.Rand, k int, maxVal int64) []int64 {
+	out := make([]int64, 0, 2*k)
+	for i := 0; i < k; i++ {
+		v := 1 + rng.Int63n(maxVal)
+		out = append(out, v, v)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// TwoPartitionExists decides subset-sum to S/2 by dynamic programming
+// over achievable sums.
+func TwoPartitionExists(as []int64) bool {
+	var S int64
+	for _, a := range as {
+		S += a
+	}
+	if S%2 != 0 {
+		return false
+	}
+	half := S / 2
+	reach := make(map[int64]bool, 1024)
+	reach[0] = true
+	for _, a := range as {
+		next := make(map[int64]bool, 2*len(reach))
+		for s := range reach {
+			next[s] = true
+			if s+a <= half {
+				next[s+a] = true
+			}
+		}
+		reach = next
+	}
+	return reach[half]
+}
+
+// TwoPartitionEqualYes generates a YES instance of 2-Partition-Equal
+// (an m-subset of 2m integers sums to S/2) with every ai ≤ S/4 — the
+// extra condition GadgetI6 needs so that bi = S/2 − 2ai ≥ 0. It
+// mirrors m random values, so picking one copy of each gives an
+// m-subset with half the sum.
+func TwoPartitionEqualYes(rng *rand.Rand, m int, maxVal int64) []int64 {
+	if maxVal < 1 {
+		maxVal = 1
+	}
+	for {
+		out := make([]int64, 0, 2*m)
+		var S int64
+		for i := 0; i < m; i++ {
+			v := 1 + rng.Int63n(maxVal)
+			out = append(out, v, v)
+			S += 2 * v
+		}
+		ok := true
+		for _, a := range out {
+			if 4*a > S {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		}
+	}
+}
+
+// TwoPartitionEqualExists decides whether some subset of exactly
+// len(as)/2 elements sums to S/2, by DP over (count, sum) pairs.
+func TwoPartitionEqualExists(as []int64) bool {
+	n := len(as)
+	if n%2 != 0 {
+		return false
+	}
+	var S int64
+	for _, a := range as {
+		S += a
+	}
+	if S%2 != 0 {
+		return false
+	}
+	m := n / 2
+	half := S / 2
+	type cs struct {
+		count int
+		sum   int64
+	}
+	reach := map[cs]bool{{0, 0}: true}
+	for _, a := range as {
+		next := make(map[cs]bool, 2*len(reach))
+		for st := range reach {
+			next[st] = true
+			if st.count < m && st.sum+a <= half {
+				next[cs{st.count + 1, st.sum + a}] = true
+			}
+		}
+		reach = next
+	}
+	return reach[cs{m, half}]
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math/rand"
+
+	"replicatree/internal/tree"
+)
+
+// UniformTopology generates a distribution tree whose internal
+// topology is drawn uniformly at random among all labelled trees on n
+// nodes, via a random Prüfer sequence. The labelled tree is rooted at
+// node 0; every leaf of the rooted tree becomes a client, and internal
+// nodes with spare room receive no extra clients (use RandomTree for
+// shaped workloads). Edge lengths and requests are drawn uniformly
+// from [1, maxDist] and [1, maxReq].
+//
+// Uniformity matters for unbiased statistics: the incremental
+// attachment of RandomTree favours shallow, star-like shapes, while
+// Prüfer trees include long paths with the right probability.
+func UniformTopology(rng *rand.Rand, n int, maxDist, maxReq int64) *tree.Tree {
+	if n < 2 {
+		n = 2
+	}
+	if maxDist <= 0 {
+		maxDist = 3
+	}
+	if maxReq <= 0 {
+		maxReq = 10
+	}
+
+	// Random Prüfer sequence of length n−2 → labelled tree on n nodes.
+	adj := make([][]int, n)
+	if n == 2 {
+		adj[0] = []int{1}
+		adj[1] = []int{0}
+	} else {
+		seq := make([]int, n-2)
+		for i := range seq {
+			seq[i] = rng.Intn(n)
+		}
+		degree := make([]int, n)
+		for i := range degree {
+			degree[i] = 1
+		}
+		for _, v := range seq {
+			degree[v]++
+		}
+		// Standard decoding with a pointer/leaf scan.
+		ptr := 0
+		for degree[ptr] != 1 {
+			ptr++
+		}
+		leaf := ptr
+		for _, v := range seq {
+			adj[leaf] = append(adj[leaf], v)
+			adj[v] = append(adj[v], leaf)
+			degree[v]--
+			if degree[v] == 1 && v < ptr {
+				leaf = v
+			} else {
+				ptr++
+				for degree[ptr] != 1 {
+					ptr++
+				}
+				leaf = ptr
+			}
+		}
+		// The two remaining degree-1 nodes: leaf and n−1.
+		adj[leaf] = append(adj[leaf], n-1)
+		adj[n-1] = append(adj[n-1], leaf)
+	}
+
+	// Root at 0 and rebuild with the Builder (BFS), assigning
+	// requests to the rooted tree's leaves.
+	b := tree.NewBuilder()
+	ids := make([]tree.NodeID, n)
+	visited := make([]bool, n)
+	ids[0] = b.Root("")
+	visited[0] = true
+	queue := []int{0}
+	type edge struct{ parent, child int }
+	var order []edge
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				order = append(order, edge{v, u})
+				queue = append(queue, u)
+			}
+		}
+	}
+	childCount := make([]int, n)
+	for _, e := range order {
+		childCount[e.parent]++
+	}
+	for _, e := range order {
+		dist := 1 + rng.Int63n(maxDist)
+		if childCount[e.child] == 0 {
+			ids[e.child] = b.Client(ids[e.parent], dist, 1+rng.Int63n(maxReq), "")
+		} else {
+			ids[e.child] = b.Internal(ids[e.parent], dist, "")
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,218 @@
+// Package hetero extends the replica placement problem to
+// heterogeneous servers: each node j has its own capacity Cap[j]
+// instead of the paper's uniform W. This is the natural systems
+// extension of the paper's model (its companion work [3] treats the
+// homogeneous case; real deployments mix appliance generations).
+//
+// The package provides the Multiple-policy variant: a feasibility
+// oracle via max-flow, an exact solver by replica-set search, and a
+// polynomial greedy with local-search pruning. The uniform-capacity
+// special case coincides with the core problem, which the tests
+// cross-check against the paper's algorithms.
+package hetero
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/flow"
+	"replicatree/internal/tree"
+)
+
+// Instance is a heterogeneous replica placement instance under the
+// Multiple policy.
+type Instance struct {
+	Tree *tree.Tree
+	// Cap[j] is the serving capacity of node j if a replica is placed
+	// there; 0 disallows placing a replica at j.
+	Cap  []int64
+	DMax int64
+}
+
+// FromUniform lifts a core.Instance into a heterogeneous one with
+// Cap[j] = W everywhere.
+func FromUniform(in *core.Instance) *Instance {
+	caps := make([]int64, in.Tree.Len())
+	for j := range caps {
+		caps[j] = in.W
+	}
+	return &Instance{Tree: in.Tree, Cap: caps, DMax: in.DMax}
+}
+
+// Validate checks instance invariants.
+func (in *Instance) Validate() error {
+	if in.Tree == nil {
+		return errors.New("hetero: nil tree")
+	}
+	if err := in.Tree.Validate(); err != nil {
+		return err
+	}
+	if len(in.Cap) != in.Tree.Len() {
+		return fmt.Errorf("hetero: %d capacities for %d nodes", len(in.Cap), in.Tree.Len())
+	}
+	for j, c := range in.Cap {
+		if c < 0 {
+			return fmt.Errorf("hetero: negative capacity %d at node %d", c, j)
+		}
+	}
+	if in.DMax < 0 {
+		return fmt.Errorf("hetero: negative dmax %d", in.DMax)
+	}
+	return nil
+}
+
+// NoD reports whether the distance constraint is disabled.
+func (in *Instance) NoD() bool { return in.DMax == tree.Infinity }
+
+// Verify checks that sol is feasible: coverage, per-node capacities,
+// path and distance constraints (Multiple policy).
+func (in *Instance) Verify(sol *core.Solution) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	t := in.Tree
+	rset := sol.ReplicaSet()
+	loads := make(map[tree.NodeID]int64)
+	served := make(map[tree.NodeID]int64)
+	for _, a := range sol.Assignments {
+		if !t.Valid(a.Client) || !t.Valid(a.Server) || a.Amount <= 0 {
+			return fmt.Errorf("hetero: malformed assignment %+v", a)
+		}
+		if !rset[a.Server] {
+			return fmt.Errorf("hetero: assignment to non-replica %d", a.Server)
+		}
+		if !t.IsAncestor(a.Server, a.Client) {
+			return fmt.Errorf("hetero: server %d off the path of client %d", a.Server, a.Client)
+		}
+		if t.DistanceUp(a.Client, a.Server) > in.DMax {
+			return fmt.Errorf("hetero: client %d beyond dmax from %d", a.Client, a.Server)
+		}
+		loads[a.Server] += a.Amount
+		served[a.Client] += a.Amount
+	}
+	for _, r := range sol.Replicas {
+		if !t.Valid(r) {
+			return fmt.Errorf("hetero: invalid replica %d", r)
+		}
+		if loads[r] > in.Cap[r] {
+			return fmt.Errorf("hetero: node %d load %d > capacity %d", r, loads[r], in.Cap[r])
+		}
+	}
+	for _, c := range t.Clients() {
+		if served[c] != t.Requests(c) {
+			return fmt.Errorf("hetero: client %d served %d of %d", c, served[c], t.Requests(c))
+		}
+	}
+	return nil
+}
+
+// eligible returns clients with requests and their candidate servers
+// (positive capacity, on path, within dmax).
+func (in *Instance) eligible() (clients []tree.NodeID, elig map[tree.NodeID][]tree.NodeID) {
+	t := in.Tree
+	elig = make(map[tree.NodeID][]tree.NodeID)
+	for _, c := range t.Clients() {
+		if t.Requests(c) == 0 {
+			continue
+		}
+		clients = append(clients, c)
+		for _, s := range t.EligibleServers(c, in.DMax) {
+			if in.Cap[s] > 0 {
+				elig[c] = append(elig[c], s)
+			}
+		}
+	}
+	return clients, elig
+}
+
+// Feasible reports whether replica set R can serve all requests, via
+// max-flow with per-node capacities. It optionally returns the
+// recovered assignment.
+func (in *Instance) Feasible(R []tree.NodeID, recover bool) (*core.Solution, bool) {
+	t := in.Tree
+	clients, elig := in.eligible()
+	rIdx := make(map[tree.NodeID]int, len(R))
+	idx := 2
+	cIdx := make(map[tree.NodeID]int, len(clients))
+	for _, c := range clients {
+		cIdx[c] = idx
+		idx++
+	}
+	for _, s := range R {
+		if _, dup := rIdx[s]; !dup {
+			rIdx[s] = idx
+			idx++
+		}
+	}
+	g := flow.NewNetwork(idx)
+	var total int64
+	type arcRec struct {
+		client, server tree.NodeID
+		arc            int
+		cap            int64
+	}
+	var arcs []arcRec
+	for _, c := range clients {
+		r := t.Requests(c)
+		total += r
+		g.AddEdge(0, cIdx[c], r)
+		for _, s := range elig[c] {
+			if si, ok := rIdx[s]; ok {
+				a := g.AddEdge(cIdx[c], si, r)
+				if recover {
+					arcs = append(arcs, arcRec{c, s, a, r})
+				}
+			}
+		}
+	}
+	for s, si := range rIdx {
+		g.AddEdge(si, 1, in.Cap[s])
+	}
+	if g.MaxFlow(0, 1) != total {
+		return nil, false
+	}
+	if !recover {
+		return nil, true
+	}
+	sol := &core.Solution{}
+	for _, s := range R {
+		sol.AddReplica(s)
+	}
+	for _, a := range arcs {
+		if amt := g.Flow(a.arc, a.cap); amt > 0 {
+			sol.Assign(a.client, a.server, amt)
+		}
+	}
+	sol.Normalize()
+	return sol, true
+}
+
+// candidates lists nodes with positive capacity that can serve at
+// least one request, sorted by decreasing capacity then coverage.
+func (in *Instance) candidates() []tree.NodeID {
+	t := in.Tree
+	cover := make(map[tree.NodeID]int64)
+	_, elig := in.eligible()
+	for c, servers := range elig {
+		for _, s := range servers {
+			cover[s] += t.Requests(c)
+		}
+	}
+	out := make([]tree.NodeID, 0, len(cover))
+	for s := range cover {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ca, cb := in.Cap[out[a]], in.Cap[out[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		if cover[out[a]] != cover[out[b]] {
+			return cover[out[a]] > cover[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

@@ -1,0 +1,305 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/gen"
+	"replicatree/internal/tree"
+)
+
+func buildHetero() *Instance {
+	// root(cap 20) — a(cap 5), b(cap 12); clients under a and b.
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	a := b.Internal(root, 1, "a")
+	bb := b.Internal(root, 1, "b")
+	c1 := b.Client(a, 1, 5, "c1")
+	c2 := b.Client(a, 1, 7, "c2")
+	c3 := b.Client(bb, 1, 6, "c3")
+	t := b.MustBuild()
+	caps := make([]int64, t.Len())
+	caps[root] = 20
+	caps[a] = 5
+	caps[bb] = 12
+	caps[c1] = 5
+	caps[c2] = 7
+	caps[c3] = 6
+	return &Instance{Tree: t, Cap: caps, DMax: tree.Infinity}
+}
+
+func TestValidate(t *testing.T) {
+	in := buildHetero()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *in
+	bad.Cap = in.Cap[:2]
+	if bad.Validate() == nil {
+		t.Error("capacity length mismatch should fail")
+	}
+	bad2 := *in
+	bad2.Cap = append([]int64{}, in.Cap...)
+	bad2.Cap[0] = -1
+	if bad2.Validate() == nil {
+		t.Error("negative capacity should fail")
+	}
+	if (&Instance{}).Validate() == nil {
+		t.Error("nil tree should fail")
+	}
+}
+
+func TestSolveUsesBigRoot(t *testing.T) {
+	in := buildHetero()
+	sol, err := Solve(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total demand 18 ≤ root capacity 20: one replica at the root.
+	if sol.NumReplicas() != 1 || sol.Replicas[0] != in.Tree.Root() {
+		t.Fatalf("want single root replica, got %v", sol)
+	}
+}
+
+func TestSolveRespectsSmallCaps(t *testing.T) {
+	in := buildHetero()
+	in.Cap[in.Tree.Root()] = 6 // root too small now
+	sol, err := Solve(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	// 18 demand; capacities: b=12 covers c3(6)+... b can only serve
+	// its own subtree (c3). Best: b(6 via c3) no... optimum: c2(7) +
+	// b? b serves c3 only (6). Remaining c1 5 + c2 7: a has cap 5,
+	// root 6. Two servers cannot cover 18: root 6 + b 12 = 18 but
+	// root only reachable... c1,c2 can use root: root(6)+b(12): b
+	// serves c3 6 — c1,c2 total 12 > root 6. Infeasible. 3 servers
+	// needed.
+	if sol.NumReplicas() != 3 {
+		t.Fatalf("want 3 replicas, got %v", sol)
+	}
+}
+
+func TestGreedyFeasibleAndClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	gapSum := 0
+	for trial := 0; trial < 80; trial++ {
+		base := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals:    1 + rng.Intn(4),
+			MaxArity:     2 + rng.Intn(3),
+			MaxDist:      3,
+			MaxReq:       9,
+			ExtraClients: rng.Intn(3),
+		}, trial%2 == 0)
+		in := FromUniform(base)
+		// Perturb capacities: some nodes beefy, some weak — but keep
+		// every client able to self-serve so the instance stays
+		// feasible.
+		for j := range in.Cap {
+			id := tree.NodeID(j)
+			if in.Tree.IsClient(id) {
+				in.Cap[j] = in.Tree.Requests(id) + rng.Int63n(5)
+			} else {
+				in.Cap[j] = rng.Int63n(2 * base.W)
+			}
+		}
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := in.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := Solve(in, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.NumReplicas() < opt.NumReplicas() {
+			t.Fatalf("trial %d: greedy %d below optimum %d", trial, g.NumReplicas(), opt.NumReplicas())
+		}
+		gapSum += g.NumReplicas() - opt.NumReplicas()
+	}
+	if gapSum > 80/2 {
+		t.Fatalf("greedy mean gap too large: %d over 80 trials", gapSum)
+	}
+}
+
+// TestUniformMatchesCore: with uniform capacities the hetero exact
+// solver agrees with the core exact solver.
+func TestUniformMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 60; trial++ {
+		base := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals:    1 + rng.Intn(4),
+			MaxArity:     2,
+			MaxDist:      3,
+			MaxReq:       9,
+			ExtraClients: rng.Intn(3),
+		}, trial%2 == 0)
+		in := FromUniform(base)
+		h, err := Solve(in, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c, err := exact.SolveMultiple(base, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if h.NumReplicas() != c.NumReplicas() {
+			t.Fatalf("trial %d: hetero %d != core %d", trial, h.NumReplicas(), c.NumReplicas())
+		}
+	}
+}
+
+func TestVerifyCatchesCapacityViolation(t *testing.T) {
+	in := buildHetero()
+	sol := &core.Solution{}
+	a := tree.NodeID(1) // "a" with cap 5
+	sol.AddReplica(a)
+	for _, c := range in.Tree.Clients() {
+		if in.Tree.Label(c) == "c1" || in.Tree.Label(c) == "c2" {
+			sol.Assign(c, a, in.Tree.Requests(c)) // 12 > cap 5
+		}
+	}
+	if in.Verify(sol) == nil {
+		t.Fatal("overload should fail")
+	}
+}
+
+func TestZeroCapacityForbidsPlacement(t *testing.T) {
+	in := buildHetero()
+	for j := range in.Cap {
+		in.Cap[j] = 0
+	}
+	// Only clients get capacity — exactly their own demand.
+	for _, c := range in.Tree.Clients() {
+		in.Cap[c] = in.Tree.Requests(c)
+	}
+	sol, err := Solve(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumReplicas() != 3 {
+		t.Fatalf("want all 3 clients self-serving, got %v", sol)
+	}
+	for _, a := range sol.Assignments {
+		if a.Client != a.Server {
+			t.Fatalf("non-local assignment with zero internal capacity: %+v", a)
+		}
+	}
+}
+
+func TestInfeasibleHetero(t *testing.T) {
+	in := buildHetero()
+	for j := range in.Cap {
+		in.Cap[j] = 1 // nothing can hold any client
+	}
+	if _, err := Solve(in, 0); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if _, err := Greedy(in); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestSolveSingleUniformMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		base := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals:    1 + rng.Intn(4),
+			MaxArity:     2 + rng.Intn(2),
+			MaxDist:      3,
+			MaxReq:       9,
+			ExtraClients: rng.Intn(3),
+		}, trial%2 == 0)
+		h, err := SolveSingle(FromUniform(base), 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := FromUniform(base).VerifySingle(h); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c, err := exact.SolveSingle(base, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if h.NumReplicas() != c.NumReplicas() {
+			t.Fatalf("trial %d: hetero single %d != core %d", trial, h.NumReplicas(), c.NumReplicas())
+		}
+	}
+}
+
+func TestSolveSingleHeteroCapacities(t *testing.T) {
+	// One big node can hold both bundles; uniform W could not.
+	in := buildHetero() // root cap 20, a cap 5, clients fit themselves
+	sol, err := SolveSingle(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumReplicas() != 1 || sol.Replicas[0] != in.Tree.Root() {
+		t.Fatalf("want single root replica (cap 20 ≥ 18), got %v", sol)
+	}
+	// Shrink the root: now bundles must scatter.
+	in.Cap[in.Tree.Root()] = 7
+	sol, err = SolveSingle(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.VerifySingle(sol); err != nil {
+		t.Fatal(err)
+	}
+	// c2 (7) only fits root (7) or itself; c1 (5) fits a or itself or
+	// root... optimal: root takes c2(7); a takes c1(5); b takes
+	// c3(6) → 3. Or root 7=c2, b 12 ≥ 6... 3 replicas minimum since
+	// no pair of bundles fits any single node except... b cap 12:
+	// c3+c1 = 11 ≤ 12 but c1 is not in b's subtree. So 3.
+	if sol.NumReplicas() != 3 {
+		t.Fatalf("want 3, got %v", sol)
+	}
+}
+
+func TestSolveSingleInfeasibleBundle(t *testing.T) {
+	in := buildHetero()
+	// c2 (7 requests): cap of every node on its path < 7.
+	for j := range in.Cap {
+		in.Cap[j] = 6
+	}
+	if _, err := SolveSingle(in, 0); err == nil {
+		t.Fatal("expected infeasibility for the 7-request bundle")
+	}
+}
+
+func TestVerifySingleDetectsSplit(t *testing.T) {
+	in := buildHetero()
+	sol := &core.Solution{}
+	root := in.Tree.Root()
+	sol.AddReplica(root)
+	var c2 tree.NodeID
+	for _, c := range in.Tree.Clients() {
+		if in.Tree.Label(c) == "c2" {
+			c2 = c
+		}
+	}
+	sol.AddReplica(c2)
+	for _, c := range in.Tree.Clients() {
+		r := in.Tree.Requests(c)
+		if c == c2 {
+			sol.Assign(c, root, 3)
+			sol.Assign(c, c2, r-3)
+		} else {
+			sol.Assign(c, root, r)
+		}
+	}
+	sol.Normalize()
+	if err := in.Verify(sol); err != nil {
+		t.Fatalf("split is fine under Multiple: %v", err)
+	}
+	if err := in.VerifySingle(sol); err == nil {
+		t.Fatal("VerifySingle must reject the split")
+	}
+}

@@ -1,0 +1,179 @@
+package hetero
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// Greedy places replicas with a coverage-driven greedy plus a pruning
+// local search:
+//
+//  1. while the current set is infeasible, add the candidate that
+//     maximises newly-servable demand (capacity bounded by what its
+//     eligible clients still need);
+//  2. then repeatedly try to drop a replica (smallest capacity first)
+//     while the set stays feasible.
+//
+// Runs in polynomial time; the result is feasible whenever the full
+// candidate set is, and experiments measure its gap to the exact
+// optimum.
+func Greedy(in *Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cands := in.candidates()
+	if sol, ok := in.Feasible(nil, true); ok {
+		return sol, nil // no requests at all
+	}
+	if _, ok := in.Feasible(cands, false); !ok {
+		return nil, fmt.Errorf("hetero: instance infeasible even with all candidates")
+	}
+
+	t := in.Tree
+	_, elig := in.eligible()
+	// demandVia[s]: total demand of clients that can use s.
+	demandVia := make(map[tree.NodeID]int64)
+	for c, servers := range elig {
+		for _, s := range servers {
+			demandVia[s] += t.Requests(c)
+		}
+	}
+
+	var chosen []tree.NodeID
+	inSet := make(map[tree.NodeID]bool)
+	for {
+		if _, ok := in.Feasible(chosen, false); ok {
+			break
+		}
+		// Pick the unchosen candidate with the largest marginal
+		// usefulness: min(capacity, demand routed via it).
+		best := tree.None
+		var bestScore int64 = -1
+		for _, s := range cands {
+			if inSet[s] {
+				continue
+			}
+			score := demandVia[s]
+			if in.Cap[s] < score {
+				score = in.Cap[s]
+			}
+			if score > bestScore {
+				best, bestScore = s, score
+			}
+		}
+		if best == tree.None {
+			return nil, fmt.Errorf("hetero: greedy exhausted candidates (unreachable)")
+		}
+		chosen = append(chosen, best)
+		inSet[best] = true
+	}
+
+	// Local search: drop redundant replicas, smallest capacity first.
+	for {
+		dropped := false
+		order := append([]tree.NodeID{}, chosen...)
+		for i := len(order) - 1; i >= 0; i-- {
+			trial := make([]tree.NodeID, 0, len(chosen)-1)
+			for _, s := range chosen {
+				if s != order[i] {
+					trial = append(trial, s)
+				}
+			}
+			if _, ok := in.Feasible(trial, false); ok {
+				chosen = trial
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+
+	sol, ok := in.Feasible(chosen, true)
+	if !ok {
+		return nil, fmt.Errorf("hetero: final set infeasible (unreachable)")
+	}
+	if err := in.Verify(sol); err != nil {
+		return nil, fmt.Errorf("hetero: greedy produced infeasible solution: %w", err)
+	}
+	return sol, nil
+}
+
+// Solve finds an optimal replica set by enumerating sets of increasing
+// size with monotone pruning (the hetero analogue of
+// exact.SolveMultiple). Exponential; small instances only.
+func Solve(in *Instance, budget int64) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		budget = 20_000_000
+	}
+	cands := in.candidates()
+	if sol, ok := in.Feasible(nil, true); ok {
+		return sol, nil
+	}
+	if _, ok := in.Feasible(cands, false); !ok {
+		return nil, fmt.Errorf("hetero: instance infeasible")
+	}
+	// Lower bound: total demand vs the largest k capacities.
+	total := in.Tree.TotalRequests()
+	lb := 1
+	var acc int64
+	for i, s := range cands {
+		acc += in.Cap[s]
+		if acc >= total {
+			lb = i + 1
+			break
+		}
+	}
+	for k := lb; k <= len(cands); k++ {
+		if budget <= 0 {
+			return nil, fmt.Errorf("hetero: work budget exceeded")
+		}
+		if set := chooseK(in, cands, nil, 0, k, &budget); set != nil {
+			sol, ok := in.Feasible(set, true)
+			if !ok {
+				return nil, fmt.Errorf("hetero: chosen set infeasible (unreachable)")
+			}
+			if err := in.Verify(sol); err != nil {
+				return nil, err
+			}
+			return sol, nil
+		}
+	}
+	return nil, fmt.Errorf("hetero: no solution found (unreachable)")
+}
+
+func chooseK(in *Instance, cands, chosen []tree.NodeID, from, k int, budget *int64) []tree.NodeID {
+	if *budget <= 0 {
+		return nil
+	}
+	*budget--
+	if len(chosen) == k {
+		if _, ok := in.Feasible(chosen, false); ok {
+			out := make([]tree.NodeID, k)
+			copy(out, chosen)
+			return out
+		}
+		return nil
+	}
+	if len(chosen)+(len(cands)-from) < k {
+		return nil
+	}
+	if len(chosen) > 0 {
+		all := append(append([]tree.NodeID{}, chosen...), cands[from:]...)
+		if _, ok := in.Feasible(all, false); !ok {
+			return nil
+		}
+	}
+	for i := from; i < len(cands); i++ {
+		if set := chooseK(in, cands, append(chosen, cands[i]), i+1, k, budget); set != nil {
+			return set
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package lp implements a small dense two-phase simplex solver and,
+// on top of it, the fractional relaxation of the replica placement
+// problem. The LP optimum rounds up to a lower bound on the integer
+// optimum that is often stronger than the volume bound and
+// incomparable with the combinatorial bound — experiment E11 measures
+// all of them.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RowKind classifies a constraint row.
+type RowKind uint8
+
+const (
+	LE RowKind = iota // a·x ≤ b
+	GE                // a·x ≥ b
+	EQ                // a·x = b
+)
+
+// Problem is min C·x subject to the rows (A[i]·x <kind[i]> B[i]),
+// x ≥ 0.
+type Problem struct {
+	C    []float64
+	A    [][]float64
+	B    []float64
+	Kind []RowKind
+}
+
+// ErrInfeasible is returned when no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex with Bland's rule and returns an
+// optimal solution and its objective value.
+func Solve(p *Problem) ([]float64, float64, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m || len(p.Kind) != m {
+		return nil, 0, fmt.Errorf("lp: inconsistent problem dimensions")
+	}
+	for i := range p.A {
+		if len(p.A[i]) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(p.A[i]), n)
+		}
+	}
+
+	// Normalise to b ≥ 0.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	kind := make([]RowKind, m)
+	for i := 0; i < m; i++ {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		kind[i] = p.Kind[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch kind[i] {
+			case LE:
+				kind[i] = GE
+			case GE:
+				kind[i] = LE
+			}
+		}
+	}
+
+	// Column layout: n structural | slacks/surplus | artificials.
+	extra := 0
+	for i := 0; i < m; i++ {
+		if kind[i] != EQ {
+			extra++
+		}
+	}
+	art := 0
+	for i := 0; i < m; i++ {
+		if kind[i] != LE {
+			art++
+		}
+	}
+	total := n + extra + art
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	se, ai := n, n+extra
+	for i := 0; i < m; i++ {
+		copy(tab[i], a[i])
+		tab[i][total] = b[i]
+		switch kind[i] {
+		case LE:
+			tab[i][se] = 1
+			basis[i] = se
+			se++
+		case GE:
+			tab[i][se] = -1
+			se++
+			tab[i][ai] = 1
+			basis[i] = ai
+			ai++
+		case EQ:
+			tab[i][ai] = 1
+			basis[i] = ai
+			ai++
+		}
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	if art > 0 {
+		obj := tab[m]
+		for j := n + extra; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+extra {
+				for j := 0; j <= total; j++ {
+					obj[j] -= tab[i][j]
+				}
+			}
+		}
+		if err := iterate(tab, basis, total); err != nil {
+			return nil, 0, err
+		}
+		if tab[m][total] < -eps {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+extra {
+				continue
+			}
+			for j := 0; j < n+extra; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: restore the real objective.
+	obj := tab[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.C[j]
+	}
+	// Block artificial columns.
+	for i := 0; i < m; i++ {
+		for j := n + extra; j < total; j++ {
+			tab[i][j] = 0
+		}
+	}
+	// Price out the basis.
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if bj < len(obj)-1 && math.Abs(obj[bj]) > eps {
+			f := obj[bj]
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * tab[i][j]
+			}
+		}
+	}
+	if err := iterate(tab, basis, total); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = tab[i][total]
+		}
+	}
+	return x, -tab[m][total], nil
+}
+
+// iterate runs simplex pivots (Bland's rule) until optimal.
+func iterate(tab [][]float64, basis []int, total int) error {
+	m := len(tab) - 1
+	for iter := 0; iter < 50000; iter++ {
+		// Entering column: smallest index with negative reduced cost.
+		col := -1
+		for j := 0; j < total; j++ {
+			if tab[m][j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil
+		}
+		// Leaving row: min ratio, ties by smallest basis index.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][col] > eps {
+				r := tab[i][total] / tab[i][col]
+				if r < best-eps || (r < best+eps && (row < 0 || basis[i] < basis[row])) {
+					best = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return ErrUnbounded
+		}
+		pivot(tab, basis, row, col, total)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	pr := tab[row]
+	pv := pr[col]
+	for j := 0; j <= total; j++ {
+		pr[j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if math.Abs(f) <= eps {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,36 @@
+package multiple
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// BinarizedLowerBound bounds the Multiple-NoD optimum of an
+// arbitrary-arity instance from below, in polynomial time, by solving
+// a relaxation exactly: binarizing the tree inserts virtual candidate
+// server locations connected by zero-length edges, which preserves
+// every client's options and adds new ones — so the binarized optimum
+// can only be lower — and on binary NoD instances Algorithm 3 computes
+// that optimum (Theorem 6, confirmed by experiment E7).
+//
+// The bound is valid only without distance constraints (with dmax the
+// binary algorithm is not guaranteed optimal, see the E7 finding) and
+// requires ri ≤ W. It dominates the volume bound ⌈Σri/W⌉ and is
+// incomparable with core.LowerBound in general; experiment E11
+// measures all three against exact optima.
+func BinarizedLowerBound(in *core.Instance) (int, error) {
+	if !in.NoD() {
+		return 0, fmt.Errorf("multiple: BinarizedLowerBound requires dmax = ∞")
+	}
+	if !in.FitsLocally() {
+		return 0, fmt.Errorf("multiple: BinarizedLowerBound requires ri ≤ W")
+	}
+	bz := tree.Binarize(in.Tree)
+	sol, err := Bin(&core.Instance{Tree: bz.Tree, W: in.W, DMax: core.NoDistance})
+	if err != nil {
+		return 0, err
+	}
+	return sol.NumReplicas(), nil
+}

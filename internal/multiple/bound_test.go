@@ -1,0 +1,86 @@
+package multiple
+
+import (
+	"math/rand"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/gen"
+	"replicatree/internal/tree"
+)
+
+// TestBinarizedLowerBoundValid: on random general-arity NoD instances
+// the bound never exceeds the exact optimum and dominates the volume
+// bound.
+func TestBinarizedLowerBoundValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	tight := 0
+	for trial := 0; trial < 150; trial++ {
+		in := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals:    1 + rng.Intn(4),
+			MaxArity:     3 + rng.Intn(3),
+			MaxDist:      3,
+			MaxReq:       9,
+			ExtraClients: rng.Intn(4),
+		}, false)
+		lb, err := BinarizedLowerBound(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := exact.SolveMultiple(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		if lb > opt.NumReplicas() {
+			t.Fatalf("trial %d: binarized bound %d exceeds optimum %d\n%s W=%d",
+				trial, lb, opt.NumReplicas(), in.Tree, in.W)
+		}
+		if lb < core.VolumeLowerBound(in) {
+			t.Fatalf("trial %d: binarized bound %d below volume bound %d",
+				trial, lb, core.VolumeLowerBound(in))
+		}
+		if lb == opt.NumReplicas() {
+			tight++
+		}
+	}
+	// The bound should be tight on a solid majority of instances,
+	// otherwise it is useless in practice.
+	if tight < 100 {
+		t.Fatalf("binarized bound tight on only %d/150 instances", tight)
+	}
+}
+
+func TestBinarizedLowerBoundPreconditions(t *testing.T) {
+	b := tree.NewBuilder()
+	r := b.Root("r")
+	b.Client(r, 1, 5, "c")
+	b.Client(r, 1, 3, "d")
+	withD := &core.Instance{Tree: b.MustBuild(), W: 6, DMax: 3}
+	if _, err := BinarizedLowerBound(withD); err == nil {
+		t.Error("distance-constrained instance should be rejected")
+	}
+	big := &core.Instance{Tree: withD.Tree, W: 4, DMax: core.NoDistance}
+	if _, err := BinarizedLowerBound(big); err == nil {
+		t.Error("ri > W should be rejected")
+	}
+}
+
+func TestBinarizedLowerBoundWideStar(t *testing.T) {
+	// A star with k unit clients and W = k: one server suffices, and
+	// the bound must find exactly 1 (volume bound is also 1, but a
+	// naive per-child bound would say k).
+	b := tree.NewBuilder()
+	r := b.Root("r")
+	for i := 0; i < 6; i++ {
+		b.Client(r, 1, 1, "")
+	}
+	in := &core.Instance{Tree: b.MustBuild(), W: 6, DMax: core.NoDistance}
+	lb, err := BinarizedLowerBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 1 {
+		t.Fatalf("star bound = %d, want 1", lb)
+	}
+}

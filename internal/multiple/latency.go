@@ -1,0 +1,102 @@
+package multiple
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/flow"
+	"replicatree/internal/tree"
+)
+
+// MinimizeLatency re-routes the assignments of a feasible Multiple
+// solution so that the total request-weighted client→server distance
+// is minimal for the given replica set, without changing the replicas
+// themselves. This is a secondary-objective refinement the paper
+// leaves open: among all assignments using R, pick the one with the
+// best aggregate latency (a min-cost max-flow on the client/replica
+// transportation network).
+//
+// The returned solution has the same replica count, verifies against
+// the same instance, and never worsens the total distance.
+func MinimizeLatency(in *core.Instance, sol *core.Solution) (*core.Solution, error) {
+	if err := core.Verify(in, core.Multiple, sol); err != nil {
+		return nil, fmt.Errorf("multiple: MinimizeLatency needs a feasible input: %w", err)
+	}
+	t := in.Tree
+
+	var clients []tree.NodeID
+	for _, c := range t.Clients() {
+		if t.Requests(c) > 0 {
+			clients = append(clients, c)
+		}
+	}
+	replicas := sol.Replicas
+
+	// Node layout: 0 source, 1 sink, then clients, then replicas.
+	idx := 2
+	cIdx := make(map[tree.NodeID]int, len(clients))
+	for _, c := range clients {
+		cIdx[c] = idx
+		idx++
+	}
+	rIdx := make(map[tree.NodeID]int, len(replicas))
+	for _, r := range replicas {
+		rIdx[r] = idx
+		idx++
+	}
+	g := flow.NewCostNetwork(idx)
+	type arcRec struct {
+		client, server tree.NodeID
+		arc            int
+		cap            int64
+	}
+	var arcs []arcRec
+	var total int64
+	for _, c := range clients {
+		r := t.Requests(c)
+		total += r
+		g.AddEdge(0, cIdx[c], r, 0)
+		for _, s := range t.EligibleServers(c, in.DMax) {
+			si, ok := rIdx[s]
+			if !ok {
+				continue
+			}
+			d := t.DistanceUp(c, s)
+			a := g.AddEdge(cIdx[c], si, r, d)
+			arcs = append(arcs, arcRec{c, s, a, r})
+		}
+	}
+	for _, r := range replicas {
+		g.AddEdge(rIdx[r], 1, in.W, 0)
+	}
+
+	got, _ := g.MinCostMaxFlow(0, 1)
+	if got != total {
+		// Cannot happen: sol itself is a feasible routing.
+		return nil, fmt.Errorf("multiple: latency flow routed %d of %d (unreachable)", got, total)
+	}
+	out := &core.Solution{}
+	for _, r := range replicas {
+		out.AddReplica(r)
+	}
+	for _, a := range arcs {
+		if amt := g.Flow(a.arc, a.cap); amt > 0 {
+			out.Assign(a.client, a.server, amt)
+		}
+	}
+	out.Normalize()
+	if err := core.Verify(in, core.Multiple, out); err != nil {
+		return nil, fmt.Errorf("multiple: latency-optimised solution infeasible: %w", err)
+	}
+	return out, nil
+}
+
+// TotalDistance returns the request-weighted total client→server
+// distance of a solution — the quantity MinimizeLatency minimises.
+func TotalDistance(t *tree.Tree, sol *core.Solution) int64 {
+	var sum int64
+	for _, a := range sol.Assignments {
+		sum += a.Amount * t.DistanceUp(a.Client, a.Server)
+	}
+	return sum
+}

@@ -1,0 +1,150 @@
+package multiple
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/tree"
+)
+
+// Churn quantifies the difference between two placements: replicas
+// added, replicas removed, and the amount of request flow that changed
+// servers.
+type Churn struct {
+	Added   []tree.NodeID
+	Removed []tree.NodeID
+	// MovedRequests is the total request volume assigned to a
+	// different server than before (computed per (client, server)
+	// pair).
+	MovedRequests int64
+}
+
+// PlanDelta computes the churn from old to new on the same tree.
+func PlanDelta(t *tree.Tree, old, new *core.Solution) Churn {
+	var ch Churn
+	oldSet, newSet := old.ReplicaSet(), new.ReplicaSet()
+	for _, r := range new.Replicas {
+		if !oldSet[r] {
+			ch.Added = append(ch.Added, r)
+		}
+	}
+	for _, r := range old.Replicas {
+		if !newSet[r] {
+			ch.Removed = append(ch.Removed, r)
+		}
+	}
+	type key struct{ c, s tree.NodeID }
+	oldAmt := make(map[key]int64)
+	for _, a := range old.Assignments {
+		oldAmt[key{a.Client, a.Server}] += a.Amount
+	}
+	for _, a := range new.Assignments {
+		k := key{a.Client, a.Server}
+		kept := oldAmt[k]
+		if kept >= a.Amount {
+			oldAmt[k] = kept - a.Amount
+			continue
+		}
+		ch.MovedRequests += a.Amount - kept
+		oldAmt[k] = 0
+	}
+	return ch
+}
+
+// Replan adapts an existing feasible placement to a new instance
+// (typically the same tree with changed request rates or a changed W)
+// while minimising churn:
+//
+//  1. keep the old replica set if it is still feasible (re-routing
+//     only — zero placement churn);
+//  2. otherwise grow it greedily with the candidates that unlock the
+//     most stuck demand until feasible;
+//  3. then drop replicas that became redundant, old ones last, so
+//     long as the set stays feasible.
+//
+// The result is feasible for the new instance; its churn against old
+// is reported alongside. Replan never guarantees optimal replica
+// counts — that is the price of stability; compare with Best to see
+// the gap.
+func Replan(in *core.Instance, old *core.Solution) (*core.Solution, Churn, error) {
+	if err := in.Validate(); err != nil {
+		return nil, Churn{}, err
+	}
+	t := in.Tree
+	// Sanitise the old replica set against the new tree (nodes must
+	// exist; stale assignments are discarded — only locations count).
+	oldSet := make(map[tree.NodeID]bool)
+	var R []tree.NodeID
+	for _, r := range old.Replicas {
+		if t.Valid(r) && !oldSet[r] {
+			oldSet[r] = true
+			R = append(R, r)
+		}
+	}
+
+	// Candidate pool for growth: all nodes that can serve someone.
+	type cand struct {
+		node  tree.NodeID
+		reach int64
+	}
+	var pool []cand
+	for j := 0; j < t.Len(); j++ {
+		id := tree.NodeID(j)
+		var reach int64
+		for _, c := range t.Clients() {
+			if t.Requests(c) > 0 && in.CanServe(c, id) {
+				reach += t.Requests(c)
+			}
+		}
+		if reach > 0 && !oldSet[id] {
+			pool = append(pool, cand{id, reach})
+		}
+	}
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].reach != pool[b].reach {
+			return pool[a].reach > pool[b].reach
+		}
+		return pool[a].node < pool[b].node
+	})
+
+	feasible := func(set []tree.NodeID) bool {
+		return exact.MultipleFeasible(in, set)
+	}
+	grown := append([]tree.NodeID{}, R...)
+	for i := 0; !feasible(grown); i++ {
+		if i >= len(pool) {
+			return nil, Churn{}, fmt.Errorf("multiple: replan cannot reach feasibility")
+		}
+		grown = append(grown, pool[i].node)
+	}
+
+	// Shrink: drop new additions first (reverse growth order), then
+	// old replicas, while feasibility holds.
+	for changed := true; changed; {
+		changed = false
+		for i := len(grown) - 1; i >= 0; i-- {
+			trial := make([]tree.NodeID, 0, len(grown)-1)
+			for k, r := range grown {
+				if k != i {
+					trial = append(trial, r)
+				}
+			}
+			if feasible(trial) {
+				grown = trial
+				changed = true
+				break
+			}
+		}
+	}
+
+	sol, err := exact.MultipleAssignment(in, grown)
+	if err != nil {
+		return nil, Churn{}, err
+	}
+	if err := core.Verify(in, core.Multiple, sol); err != nil {
+		return nil, Churn{}, fmt.Errorf("multiple: replan produced infeasible solution: %w", err)
+	}
+	return sol, PlanDelta(t, old, sol), nil
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// Failure schedules replica Server to go down at Step (inclusive) and
+// stay down until Until (exclusive; 0 means "for the rest of the
+// run").
+type Failure struct {
+	Server tree.NodeID
+	Step   int
+	Until  int
+}
+
+// FailureMetrics extends Metrics with degradation accounting.
+type FailureMetrics struct {
+	Metrics
+	// Unserved counts request units that could not be re-homed to any
+	// surviving replica (eligible and with residual capacity).
+	Unserved int64
+	// Rerouted counts request units served by a replica other than
+	// their planned one.
+	Rerouted int64
+	// WorstStepUnserved is the highest per-step unserved amount.
+	WorstStepUnserved int64
+	// StepsDegraded counts steps with at least one unserved unit.
+	StepsDegraded int
+}
+
+// RunWithFailures replays the placement while injecting replica
+// failures. At every step each client first routes to its planned
+// servers; demand planned for a failed server is re-homed greedily to
+// surviving replicas on the client's path within dmax, nearest first,
+// subject to their residual capacity; what cannot be re-homed counts
+// as unserved. Only the Multiple policy re-homes partially; under
+// Single a client moves entirely or not at all.
+func RunWithFailures(in *core.Instance, pol core.Policy, sol *core.Solution, cfg Config, failures []Failure) (*FailureMetrics, error) {
+	if err := core.Verify(in, pol, sol); err != nil {
+		return nil, fmt.Errorf("sim: solution rejected: %w", err)
+	}
+	cfg = cfg.norm()
+	t := in.Tree
+	rset := sol.ReplicaSet()
+	for _, f := range failures {
+		if !rset[f.Server] {
+			return nil, fmt.Errorf("sim: failure of non-replica node %d", f.Server)
+		}
+		if f.Step < 0 {
+			return nil, fmt.Errorf("sim: negative failure step %d", f.Step)
+		}
+	}
+
+	// Per-client fallback order: replicas on the path within dmax,
+	// nearest first (including the planned ones).
+	fallback := make(map[tree.NodeID][]tree.NodeID)
+	for _, c := range t.Clients() {
+		if t.Requests(c) == 0 {
+			continue
+		}
+		var opts []tree.NodeID
+		for _, s := range t.EligibleServers(c, in.DMax) {
+			if rset[s] {
+				opts = append(opts, s)
+			}
+		}
+		sort.Slice(opts, func(a, b int) bool {
+			return t.DistanceUp(c, opts[a]) < t.DistanceUp(c, opts[b])
+		})
+		fallback[c] = opts
+	}
+
+	planned := make(map[tree.NodeID][]core.Assignment) // per client
+	for _, a := range sol.Assignments {
+		planned[a.Client] = append(planned[a.Client], a)
+	}
+
+	m := &FailureMetrics{}
+	m.Steps = cfg.Steps
+	m.PeakLoad = make(map[tree.NodeID]int64, len(sol.Replicas))
+	var latencySum float64
+	load := make(map[tree.NodeID]int64, len(sol.Replicas))
+	down := make(map[tree.NodeID]bool, len(failures))
+
+	for step := 0; step < cfg.Steps; step++ {
+		for k := range load {
+			load[k] = 0
+		}
+		for k := range down {
+			delete(down, k)
+		}
+		for _, f := range failures {
+			if step >= f.Step && (f.Until == 0 || step < f.Until) {
+				down[f.Server] = true
+			}
+		}
+
+		var stepUnserved int64
+		for c, asgs := range planned {
+			demand := t.Requests(c)
+			m.TotalEmitted += demand
+
+			serve := func(s tree.NodeID, amt int64) {
+				load[s] += amt
+				m.TotalServed += amt
+				d := t.DistanceUp(c, s)
+				latencySum += float64(amt) * float64(d)
+				if d > m.MaxLatency {
+					m.MaxLatency = d
+				}
+			}
+
+			var displaced int64
+			for _, a := range asgs {
+				if down[a.Server] {
+					displaced += a.Amount
+					continue
+				}
+				serve(a.Server, a.Amount)
+			}
+			if displaced == 0 {
+				continue
+			}
+			if pol == core.Single {
+				// The whole client moves: find one surviving server
+				// with room for everything.
+				moved := false
+				for _, s := range fallback[c] {
+					if down[s] || load[s]+displaced > in.W {
+						continue
+					}
+					serve(s, displaced)
+					m.Rerouted += displaced
+					moved = true
+					break
+				}
+				if !moved {
+					stepUnserved += displaced
+				}
+				continue
+			}
+			// Multiple: spread over surviving servers, nearest first.
+			for _, s := range fallback[c] {
+				if displaced == 0 {
+					break
+				}
+				if down[s] {
+					continue
+				}
+				room := in.W - load[s]
+				if room <= 0 {
+					continue
+				}
+				amt := displaced
+				if amt > room {
+					amt = room
+				}
+				serve(s, amt)
+				m.Rerouted += amt
+				displaced -= amt
+			}
+			stepUnserved += displaced
+		}
+
+		m.Unserved += stepUnserved
+		if stepUnserved > m.WorstStepUnserved {
+			m.WorstStepUnserved = stepUnserved
+		}
+		if stepUnserved > 0 {
+			m.StepsDegraded++
+		}
+		for srv, l := range load {
+			if l > m.PeakLoad[srv] {
+				m.PeakLoad[srv] = l
+			}
+			if l > in.W {
+				m.OverloadSteps++
+				if l-in.W > m.MaxOverload {
+					m.MaxOverload = l - in.W
+				}
+			}
+		}
+	}
+	if m.TotalServed > 0 {
+		m.MeanLatency = latencySum / float64(m.TotalServed)
+	}
+	return m, nil
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/multiple"
+	"replicatree/internal/tree"
+)
+
+// failInst: root and hub both replicas with spare capacity, so a hub
+// failure can be absorbed by the root.
+func failInst(t *testing.T) (*core.Instance, *core.Solution) {
+	t.Helper()
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	hub := b.Internal(root, 1, "hub")
+	b.Client(hub, 1, 6, "c1")
+	b.Client(hub, 1, 5, "c2")
+	b.Client(root, 1, 4, "c3")
+	in := &core.Instance{Tree: b.MustBuild(), W: 20, DMax: core.NoDistance}
+	sol, err := multiple.Bin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, sol
+}
+
+func TestNoFailuresMatchesPlainRun(t *testing.T) {
+	in, sol := failInst(t)
+	fm, err := RunWithFailures(in, core.Multiple, sol, Config{Steps: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Unserved != 0 || fm.Rerouted != 0 || fm.StepsDegraded != 0 {
+		t.Fatalf("clean run shows degradation: %+v", fm)
+	}
+	if fm.TotalServed != in.Tree.TotalRequests()*10 {
+		t.Fatalf("served %d", fm.TotalServed)
+	}
+}
+
+func TestFailureAbsorbedBySpareCapacity(t *testing.T) {
+	in, sol := failInst(t)
+	if sol.NumReplicas() != 1 {
+		// W=20 fits everything at the root; force a 2-replica layout
+		// by shrinking W.
+		t.Logf("layout: %v", sol)
+	}
+	// Shrink W to force two replicas, then fail one.
+	in.W = 11
+	sol2, err := multiple.Bin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.NumReplicas() < 2 {
+		t.Fatalf("expected ≥ 2 replicas at W=11, got %v", sol2)
+	}
+	srv := sol2.Replicas[0]
+	fm, err := RunWithFailures(in, core.Multiple, sol2, Config{Steps: 6},
+		[]Failure{{Server: srv, Step: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before step 3 everything is clean; afterwards the survivor(s)
+	// can hold at most 11 each — with 15 total demand and only one
+	// survivor... count unserved consistently:
+	if fm.TotalEmitted != 15*6 {
+		t.Fatalf("emitted %d", fm.TotalEmitted)
+	}
+	if fm.TotalServed+fm.Unserved != fm.TotalEmitted {
+		t.Fatalf("conservation broken: served %d + unserved %d != emitted %d",
+			fm.TotalServed, fm.Unserved, fm.TotalEmitted)
+	}
+	if fm.StepsDegraded == 0 {
+		t.Fatal("a failed replica with insufficient survivor capacity must degrade")
+	}
+	if fm.Rerouted == 0 {
+		t.Fatal("some demand must have been rerouted to the survivor")
+	}
+	// Never exceed W even while failing over.
+	if fm.OverloadSteps != 0 {
+		t.Fatalf("failover overloaded a server: %+v", fm)
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	in, _ := failInst(t)
+	in.W = 11
+	sol, err := multiple.Bin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sol.Replicas[0]
+	// Down only for steps 2..3; afterwards clean again.
+	fm, err := RunWithFailures(in, core.Multiple, sol, Config{Steps: 8},
+		[]Failure{{Server: srv, Step: 2, Until: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	permanent, err := RunWithFailures(in, core.Multiple, sol, Config{Steps: 8},
+		[]Failure{{Server: srv, Step: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Unserved >= permanent.Unserved && permanent.Unserved > 0 {
+		t.Fatalf("bounded outage (%d unserved) should hurt less than permanent (%d)",
+			fm.Unserved, permanent.Unserved)
+	}
+}
+
+func TestSinglePolicyFailoverIsAllOrNothing(t *testing.T) {
+	// Single policy: client moves wholly or counts fully unserved.
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	hub := b.Internal(root, 1, "hub")
+	b.Client(hub, 1, 9, "c1")
+	b.Client(root, 1, 2, "c2")
+	in := &core.Instance{Tree: b.MustBuild(), W: 10, DMax: core.NoDistance}
+	sol, err := exact.SolveSingle(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.NumReplicas() != 2 {
+		t.Fatalf("want 2 replicas (9+2 > 10), got %v", sol)
+	}
+	// Fail c1's server: the 9 requests need one surviving server with
+	// 9 spare — the other server holds 2/10, so 9 > 8 cannot move.
+	var c1srv tree.NodeID = tree.None
+	for _, a := range sol.Assignments {
+		if in.Tree.Label(a.Client) == "c1" {
+			c1srv = a.Server
+		}
+	}
+	fm, err := RunWithFailures(in, core.Single, sol, Config{Steps: 2},
+		[]Failure{{Server: c1srv, Step: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Unserved != 9*2 {
+		t.Fatalf("Single failover should strand all 9 req/step, got unserved %d", fm.Unserved)
+	}
+	if fm.Rerouted != 0 {
+		t.Fatalf("nothing should have moved, rerouted %d", fm.Rerouted)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	in, sol := failInst(t)
+	if _, err := RunWithFailures(in, core.Multiple, sol, Config{},
+		[]Failure{{Server: 99, Step: 0}}); err == nil {
+		t.Error("failure of invalid node should be rejected")
+	}
+	if _, err := RunWithFailures(in, core.Multiple, sol, Config{},
+		[]Failure{{Server: sol.Replicas[0], Step: -1}}); err == nil {
+		t.Error("negative step should be rejected")
+	}
+	nonReplica := tree.NodeID(0)
+	for j := 0; j < in.Tree.Len(); j++ {
+		if !sol.ReplicaSet()[tree.NodeID(j)] {
+			nonReplica = tree.NodeID(j)
+			break
+		}
+	}
+	if _, err := RunWithFailures(in, core.Multiple, sol, Config{},
+		[]Failure{{Server: nonReplica, Step: 0}}); err == nil {
+		t.Error("failure of non-replica should be rejected")
+	}
+}

@@ -1,0 +1,147 @@
+// Package single implements the Single-policy algorithms of the paper:
+// Algorithm 1 (single-gen), a (Δ+1)-approximation for Single with
+// distance constraints (a Δ-approximation without them), and
+// Algorithm 2 (single-nod), a 2-approximation for Single-NoD.
+// Single is NP-hard in the strong sense even on binary trees without
+// distance constraints (Theorem 1), so these approximations are the
+// best practical tools the paper offers for this policy.
+package single
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// pending is a batch of whole-client request bundles flowing up the
+// tree. Under the Single policy a bundle is never split: either the
+// whole client is assigned to a server or it keeps travelling up.
+type pending struct {
+	clients []clientReq
+	total   int64
+	dist    int64 // remaining distance budget: requests must be served within dist of the current node
+}
+
+type clientReq struct {
+	client tree.NodeID
+	r      int64
+}
+
+// Gen runs Algorithm 1 (single-gen) and returns a feasible solution to
+// Single. The returned solution uses at most (Δ+1)·opt replicas, and at
+// most Δ·opt when in.DMax is core.NoDistance (Corollary 1). It returns
+// an error if some client has ri > W (then Single has no solution) or
+// the instance is invalid.
+//
+// Time complexity: O(Δ·|T|) list-merge operations (Theorem 3).
+func Gen(in *core.Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.Feasible(core.Single) {
+		return nil, fmt.Errorf("single: some client exceeds W=%d; Single has no solution", in.W)
+	}
+	sol := &core.Solution{}
+	g := &genState{in: in, sol: sol}
+	p := g.visit(in.Tree.Root())
+	// The paper's procedure guarantees single-gen(r) = (0, dmax):
+	// everything has been assigned once the root returns.
+	if p.total != 0 {
+		panic("single: gen left unassigned requests at the root")
+	}
+	sol.Normalize()
+	if err := core.Verify(in, core.Single, sol); err != nil {
+		return nil, fmt.Errorf("single: gen produced infeasible solution: %w", err)
+	}
+	return sol, nil
+}
+
+type genState struct {
+	in  *core.Instance
+	sol *core.Solution
+}
+
+// place puts a replica at node x serving all of p's clients.
+func (g *genState) place(x tree.NodeID, p *pending) {
+	g.sol.AddReplica(x)
+	for _, c := range p.clients {
+		g.sol.Assign(c.client, x, c.r)
+	}
+	p.clients = nil
+	p.total = 0
+	p.dist = g.in.DMax
+}
+
+// visit is the recursive procedure single-gen(j) of Algorithm 1. It
+// returns the couple (req, dist): req ≤ W requests that still need to
+// be processed at or above j, within distance dist of j.
+func (g *genState) visit(j tree.NodeID) pending {
+	t := g.in.Tree
+	if t.IsClient(j) {
+		p := pending{total: t.Requests(j), dist: g.in.DMax}
+		if p.total > 0 {
+			p.clients = []clientReq{{j, p.total}}
+		}
+		return p
+	}
+
+	children := t.Children(j)
+	ps := make([]pending, len(children))
+	var sum int64
+	for k, c := range children {
+		p := g.visit(c)
+		// Step 1: if the pending requests of child c cannot travel the
+		// edge (c → j), serve them at c itself.
+		if t.Dist(c) > p.dist && p.total > 0 {
+			g.place(c, &p)
+		} else {
+			p.dist -= t.Dist(c)
+		}
+		ps[k] = p
+		sum += p.total
+	}
+
+	if sum > g.in.W {
+		// Step 2: too much to carry; a server on every child that
+		// still has pending requests.
+		for k := range ps {
+			if ps[k].total > 0 {
+				g.place(children[k], &ps[k])
+			}
+		}
+		return pending{dist: g.in.DMax}
+	}
+
+	if j == t.Root() {
+		// Step 3a: the root absorbs whatever remains.
+		if sum > 0 {
+			g.sol.AddReplica(j)
+			for k := range ps {
+				for _, c := range ps[k].clients {
+					g.sol.Assign(c.client, j, c.r)
+				}
+			}
+		}
+		return pending{dist: g.in.DMax}
+	}
+
+	// Step 3b: forward the merged pending set upwards. The distance
+	// budget of the merge is the minimum over contributing children.
+	// (The paper takes the minimum over all children; we restrict it to
+	// children that actually forward requests — a child forwarding
+	// nothing cannot constrain anything. On instances where every
+	// client has requests the two definitions coincide.)
+	out := pending{dist: g.in.DMax}
+	for k := range ps {
+		if ps[k].total == 0 {
+			continue
+		}
+		out.clients = append(out.clients, ps[k].clients...)
+		out.total += ps[k].total
+		if ps[k].dist < out.dist {
+			out.dist = ps[k].dist
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package single
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// entry is an element of the sorted pending list Lj of Algorithm 2: a
+// node (child of j, or a descendant re-attached to j by an earlier
+// server placement) together with the whole-client request bundles it
+// carries. Under Single a bundle travels and is assigned as a unit.
+type entry struct {
+	node    tree.NodeID
+	total   int64
+	clients []clientReq
+}
+
+// NoD runs Algorithm 2 (single-nod), the 2-approximation for
+// Single-NoD. The instance's DMax is ignored: the algorithm assumes no
+// distance constraint, and the returned solution is feasible for the
+// NoD relaxation of the instance (it is also feasible for the original
+// instance whenever the original instance's DMax is NoDistance).
+//
+// Time complexity: O((Δ log Δ + |C|)·|T|) (Theorem 4).
+func NoD(in *core.Instance) (*core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.Feasible(core.Single) {
+		return nil, fmt.Errorf("single: some client exceeds W=%d; Single has no solution", in.W)
+	}
+	relaxed := &core.Instance{Tree: in.Tree, W: in.W, DMax: core.NoDistance}
+	sol := &core.Solution{}
+	s := &nodState{in: relaxed, sol: sol, lists: make(map[tree.NodeID][]entry)}
+	rem := s.visit(relaxed.Tree.Root())
+	if rem != 0 {
+		panic("single: nod left unassigned requests at the root")
+	}
+	sol.Normalize()
+	if err := core.Verify(relaxed, core.Single, sol); err != nil {
+		return nil, fmt.Errorf("single: nod produced infeasible solution: %w", err)
+	}
+	return sol, nil
+}
+
+type nodState struct {
+	in    *core.Instance
+	sol   *core.Solution
+	lists map[tree.NodeID][]entry // Lj: pending entries, sorted by non-decreasing total
+}
+
+// insert adds e into the sorted list of node j (non-decreasing total).
+func (s *nodState) insert(j tree.NodeID, e entry) {
+	l := s.lists[j]
+	k := sort.Search(len(l), func(i int) bool { return l[i].total >= e.total })
+	l = append(l, entry{})
+	copy(l[k+1:], l[k:])
+	l[k] = e
+	s.lists[j] = l
+}
+
+// assign gives all bundles of e to server srv.
+func (s *nodState) assign(srv tree.NodeID, e *entry) {
+	for _, c := range e.clients {
+		s.sol.Assign(c.client, srv, c.r)
+	}
+}
+
+// visit is the recursive procedure single-nod(j) of Algorithm 2. It
+// returns the number of requests that still need to be processed at or
+// above j. Side effect: it may move entries from Lj into Lparent(j).
+func (s *nodState) visit(j tree.NodeID) int64 {
+	t := s.in.Tree
+	if t.IsClient(j) {
+		return t.Requests(j)
+	}
+	for _, c := range t.Children(j) {
+		req := s.visit(c)
+		if req != 0 {
+			e := entry{node: c, total: req}
+			if t.IsClient(c) {
+				e.clients = []clientReq{{c, req}}
+			} else {
+				// An internal child returning req != 0 forwarded the
+				// union of its own pending entries; collect them.
+				e.clients = s.collect(c)
+			}
+			s.insert(j, e)
+		}
+	}
+
+	l := s.lists[j]
+	var sum int64
+	for i := range l {
+		sum += l[i].total
+	}
+
+	if sum > s.in.W {
+		// Step 1: place a server at j, fill it greedily with the
+		// smallest entries, and give the first entry that does not fit
+		// a server of its own (jmin).
+		s.sol.AddReplica(j)
+		var temp int64
+		k := 0
+		for k < len(l) && temp <= s.in.W {
+			e := &l[k]
+			temp += e.total
+			if temp > s.in.W {
+				// jmin: the overflow entry is served at its own node.
+				s.sol.AddReplica(e.node)
+				s.assign(e.node, e)
+			} else {
+				s.assign(j, e)
+			}
+			k++
+		}
+		rest := l[k:]
+		delete(s.lists, j)
+		if j != t.Root() {
+			// Step 1a: re-attach unhandled entries to the parent.
+			for _, e := range rest {
+				s.insert(t.Parent(j), e)
+			}
+		} else {
+			// Step 1b: at the root, every unhandled entry gets a
+			// server at its own node.
+			for i := range rest {
+				s.sol.AddReplica(rest[i].node)
+				s.assign(rest[i].node, &rest[i])
+			}
+		}
+		return 0
+	}
+
+	// Step 2: everything fits at j or above.
+	if j != t.Root() {
+		return sum
+	}
+	// Step 2b: the root absorbs the remainder. (The paper places a
+	// server unconditionally; we skip it when there is nothing left to
+	// serve.)
+	if sum > 0 {
+		s.sol.AddReplica(j)
+		for i := range l {
+			s.assign(j, &l[i])
+		}
+	}
+	delete(s.lists, j)
+	return 0
+}
+
+// collect removes and returns all client bundles pending at internal
+// node c — used when c's visit returned a non-zero req, meaning c
+// forwarded its whole list upward as one aggregated entry.
+func (s *nodState) collect(c tree.NodeID) []clientReq {
+	l := s.lists[c]
+	delete(s.lists, c)
+	var out []clientReq
+	for i := range l {
+		out = append(out, l[i].clients...)
+	}
+	return out
+}

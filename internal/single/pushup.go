@@ -1,0 +1,86 @@
+package single
+
+import (
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// PushUp is the post-pass the paper's conclusion sketches for closing
+// the gap towards 3/2 on Single-NoD-Bin: "push servers towards the
+// root of the tree, whenever possible". Given a feasible Single
+// solution, it repeatedly dissolves a server whose entire load fits
+// into the residual capacity of one of its ancestor servers (moving
+// whole clients upward is always distance-safe under NoD, and checked
+// against dmax otherwise), until no such move exists. The result never
+// has more replicas than the input.
+func PushUp(in *core.Instance, sol *core.Solution) *core.Solution {
+	out := sol.Clone()
+	t := in.Tree
+	for {
+		loads := out.Loads()
+		rset := out.ReplicaSet()
+		// Consider the deepest servers first: their loads are the
+		// easiest to re-home and freeing them unblocks nothing above.
+		servers := append([]tree.NodeID{}, out.Replicas...)
+		sort.Slice(servers, func(a, b int) bool {
+			da, db := t.Depth(servers[a]), t.Depth(servers[b])
+			if da != db {
+				return da > db
+			}
+			return servers[a] < servers[b]
+		})
+		moved := false
+		for _, s := range servers {
+			target := tree.None
+			// Walk ancestors of s from the nearest up.
+			for a := s; a != t.Root(); {
+				a = t.Parent(a)
+				if !rset[a] || loads[a]+loads[s] > in.W {
+					continue
+				}
+				// Every client of s must tolerate the longer distance
+				// (trivially true when dmax = ∞) — and a is an
+				// ancestor of s, hence of all of s's clients.
+				allOK := true
+				for _, asg := range out.Assignments {
+					if asg.Server != s {
+						continue
+					}
+					if t.DistanceUp(asg.Client, a) > in.DMax {
+						allOK = false
+						break
+					}
+				}
+				if allOK {
+					target = a
+					break
+				}
+			}
+			if target == tree.None {
+				continue
+			}
+			// Re-home s's load onto target and drop s.
+			for i := range out.Assignments {
+				if out.Assignments[i].Server == s {
+					out.Assignments[i].Server = target
+				}
+			}
+			keep := out.Replicas[:0]
+			for _, r := range out.Replicas {
+				if r != s {
+					keep = append(keep, r)
+				}
+			}
+			out.Replicas = keep
+			moved = true
+			break // recompute loads and depth order
+		}
+		if !moved {
+			break
+		}
+	}
+	out.Normalize()
+	return out
+}

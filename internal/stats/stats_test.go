@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); got != 2.8 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.001 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Error("n<2 should give 0")
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		return Quantile(clean, 0.25) <= Quantile(clean, 0.75) &&
+			Quantile(clean, 0) == Min(clean) &&
+			Quantile(clean, 1) == Max(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E0: demo", "m", "ratio", "note")
+	tab.AddRow(1, 1.5, "a")
+	tab.AddRow(32, float64(2), "longer-note")
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	s := tab.String()
+	for _, want := range []string{"E0: demo", "ratio", "1.500", "2.000", "longer-note", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), s)
+	}
+	// Columns aligned: header and separator same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", s)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("md demo", "a", "b|c")
+	tab.AddRow(1, 2.5)
+	md := tab.Markdown()
+	for _, want := range []string{"**md demo**", "| a |", "| --- |", "| 2.500 |", "b\\|c"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored", "x", "note")
+	tab.AddRow(1, `a,b`)
+	tab.AddRow(2, `say "hi"`)
+	csv := tab.CSV()
+	want := "x,note\n1,\"a,b\"\n2,\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}

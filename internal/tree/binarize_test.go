@@ -1,0 +1,160 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func wideSample() *Tree {
+	b := NewBuilder()
+	root := b.Root("root")
+	x := b.Internal(root, 2, "x")
+	b.Client(x, 1, 5, "a")
+	b.Client(x, 2, 6, "b")
+	b.Client(x, 3, 7, "c")
+	b.Client(x, 4, 8, "d")
+	b.Client(root, 5, 9, "e")
+	return b.MustBuild()
+}
+
+func TestBinarizeStructure(t *testing.T) {
+	orig := wideSample()
+	bz := Binarize(orig)
+	bt := bz.Tree
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !bt.IsBinary() {
+		t.Fatalf("binarized tree has arity %d", bt.Arity())
+	}
+	if bt.NumClients() != orig.NumClients() {
+		t.Fatalf("clients %d != %d", bt.NumClients(), orig.NumClients())
+	}
+	if bt.TotalRequests() != orig.TotalRequests() {
+		t.Fatalf("requests %d != %d", bt.TotalRequests(), orig.TotalRequests())
+	}
+	// x had 4 children: 2 virtual nodes inserted.
+	virtuals := 0
+	for j := range bz.Virtual {
+		if bz.Virtual[j] {
+			virtuals++
+			if bt.Dist(NodeID(j)) != 0 {
+				t.Errorf("virtual node %d has non-zero edge %d", j, bt.Dist(NodeID(j)))
+			}
+		}
+	}
+	if virtuals != 2 {
+		t.Fatalf("virtuals = %d, want 2", virtuals)
+	}
+	if len(bz.Orig) != bt.Len() || len(bz.Virtual) != bt.Len() {
+		t.Fatal("mapping length mismatch")
+	}
+}
+
+// TestBinarizePreservesDistances: every client's distance to every
+// original ancestor is unchanged.
+func TestBinarizePreservesDistances(t *testing.T) {
+	orig := wideSample()
+	bz := Binarize(orig)
+	bt := bz.Tree
+
+	// Locate binarized counterparts by label.
+	find := func(tt *Tree, label string) NodeID {
+		for j := 0; j < tt.Len(); j++ {
+			if tt.Label(NodeID(j)) == label {
+				return NodeID(j)
+			}
+		}
+		t.Fatalf("label %s not found", label)
+		return None
+	}
+	for _, client := range []string{"a", "b", "c", "d", "e"} {
+		co, cb := find(orig, client), find(bt, client)
+		if orig.Requests(co) != bt.Requests(cb) {
+			t.Errorf("%s: requests changed", client)
+		}
+		if got, want := bt.DistanceUp(cb, bt.Root()), orig.DistanceUp(co, orig.Root()); got != want {
+			t.Errorf("%s: root distance %d != %d", client, got, want)
+		}
+	}
+}
+
+func TestBinarizeIdentityOnBinary(t *testing.T) {
+	b := NewBuilder()
+	root := b.Root("r")
+	b.Client(root, 1, 3, "l")
+	b.Client(root, 2, 4, "rr")
+	orig := b.MustBuild()
+	bz := Binarize(orig)
+	if bz.Tree.Len() != orig.Len() {
+		t.Fatalf("binary tree gained nodes: %d -> %d", orig.Len(), bz.Tree.Len())
+	}
+	for _, v := range bz.Virtual {
+		if v {
+			t.Fatal("binary tree should need no virtual nodes")
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	orig := wideSample()
+	bz := Binarize(orig)
+	// Project every binarized node: virtual nodes collapse onto x.
+	all := make([]NodeID, bz.Tree.Len())
+	for j := range all {
+		all[j] = NodeID(j)
+	}
+	proj := bz.Project(all)
+	if len(proj) != orig.Len() {
+		t.Fatalf("projection has %d nodes, want %d", len(proj), orig.Len())
+	}
+}
+
+// TestBinarizeQuick: random trees binarize into valid binary trees
+// with preserved client distances and request totals.
+func TestBinarizeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		root := b.Root("")
+		nodes := []NodeID{root}
+		for i := 0; i < 3+rng.Intn(20); i++ {
+			p := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Internal(p, rng.Int63n(4), ""))
+		}
+		for _, n := range nodes {
+			for k := 0; k <= rng.Intn(3); k++ {
+				b.Client(n, rng.Int63n(4), rng.Int63n(9), "")
+			}
+		}
+		orig, err := b.Build()
+		if err != nil {
+			return true // builder rejected a degenerate shape; fine
+		}
+		bz := Binarize(orig)
+		if bz.Tree.Validate() != nil || !bz.Tree.IsBinary() {
+			return false
+		}
+		if bz.Tree.TotalRequests() != orig.TotalRequests() {
+			return false
+		}
+		if bz.Tree.NumClients() != orig.NumClients() {
+			return false
+		}
+		// Height in distance terms: max root distance must match.
+		maxD := func(tt *Tree) int64 {
+			var m int64
+			for _, c := range tt.Clients() {
+				if d := tt.DistanceUp(c, tt.Root()); d > m {
+					m = d
+				}
+			}
+			return m
+		}
+		return maxD(bz.Tree) == maxD(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

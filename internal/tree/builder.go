@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder constructs a Tree incrementally. Typical use:
+//
+//	b := tree.NewBuilder()
+//	r := b.Root("root")
+//	n := b.Internal(r, 1, "n1")
+//	b.Client(n, 2, 10, "c1")
+//	t, err := b.Build()
+//
+// The Builder panics on structurally impossible operations (adding a
+// child to an unknown node, two roots) because those are programming
+// errors; Build returns an error for semantic validation failures.
+type Builder struct {
+	nodes   []Node
+	root    NodeID
+	hasRoot bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{root: None}
+}
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.nodes) }
+
+// Root creates the root node. It must be called exactly once, before
+// any other node is added. The optional label names the node.
+func (b *Builder) Root(label string) NodeID {
+	if b.hasRoot {
+		panic("tree: Builder.Root called twice")
+	}
+	b.hasRoot = true
+	b.root = b.push(Node{Parent: None, Label: label})
+	return b.root
+}
+
+// Internal adds an internal node under parent with edge length dist.
+func (b *Builder) Internal(parent NodeID, dist int64, label string) NodeID {
+	b.checkParent(parent)
+	id := b.push(Node{Parent: parent, Dist: dist, Label: label})
+	b.nodes[parent].Children = append(b.nodes[parent].Children, id)
+	return id
+}
+
+// Client adds a client (leaf) node with the given request rate under
+// parent with edge length dist.
+func (b *Builder) Client(parent NodeID, dist, requests int64, label string) NodeID {
+	b.checkParent(parent)
+	id := b.push(Node{Parent: parent, Dist: dist, Requests: requests, Label: label})
+	b.nodes[parent].Children = append(b.nodes[parent].Children, id)
+	return id
+}
+
+func (b *Builder) push(n Node) NodeID {
+	if len(b.nodes) >= 1<<30 {
+		panic("tree: too many nodes")
+	}
+	b.nodes = append(b.nodes, n)
+	return NodeID(len(b.nodes) - 1)
+}
+
+func (b *Builder) checkParent(parent NodeID) {
+	if !b.hasRoot {
+		panic("tree: Builder used before Root")
+	}
+	if parent < 0 || int(parent) >= len(b.nodes) {
+		panic(fmt.Sprintf("tree: unknown parent %d", parent))
+	}
+}
+
+// Build finalises the tree and validates it. The Builder must not be
+// reused afterwards.
+func (b *Builder) Build() (*Tree, error) {
+	if !b.hasRoot {
+		return nil, errors.New("tree: Build without a root")
+	}
+	t := &Tree{nodes: b.nodes, root: b.root}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and
+// generators of known-good instances.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
