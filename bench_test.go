@@ -6,6 +6,7 @@
 package replicatree_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"replicatree/internal/multiple"
 	"replicatree/internal/sim"
 	"replicatree/internal/single"
+	"replicatree/internal/solver"
 	"replicatree/internal/tree"
 )
 
@@ -414,6 +416,51 @@ func BenchmarkPushUp(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = single.PushUp(in, sol)
+	}
+}
+
+// Solver-engine benchmarks: registry dispatch and the parallel batch
+// runner that powers the experiment sweeps. The workers=1 series is
+// the sequential baseline; workers=max shows the multicore speedup.
+
+func solverBatchTasks() []solver.Task {
+	rng := rand.New(rand.NewSource(22))
+	names := []string{solver.SingleGen, solver.SingleBest, solver.MultipleBest, solver.MultipleGreedy}
+	var tasks []solver.Task
+	for i := 0; i < 16; i++ {
+		in := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals: 60, MaxArity: 3, MaxDist: 3, MaxReq: 12, ExtraClients: 30,
+		}, false)
+		for _, name := range names {
+			tasks = append(tasks, solver.Task{Solver: solver.MustGet(name), Instance: in})
+		}
+	}
+	return tasks
+}
+
+func BenchmarkSolverBatch(b *testing.B) {
+	tasks := solverBatchTasks()
+	for _, workers := range []int{1, 0} {
+		label := "workers=max"
+		if workers == 1 {
+			label = "workers=1"
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, st := solver.Batch(context.Background(), tasks, solver.Options{Workers: workers})
+				if st.Failed > 0 || st.Skipped > 0 {
+					b.Fatalf("batch degraded: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolverRegistryGet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Get(solver.MultipleBest); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

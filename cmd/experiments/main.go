@@ -7,6 +7,11 @@
 //	experiments                 # full scale, all experiments
 //	experiments -scale quick    # the fast configuration the tests use
 //	experiments -id E3          # a single experiment
+//	experiments -workers 16     # widen the parallel solver sweeps
+//
+// The random/policy/extension sweeps dispatch their solves through the
+// solver registry's Batch runner; -workers bounds that pool (the
+// tables are identical for any worker count).
 package main
 
 import (
@@ -31,9 +36,11 @@ func run(args []string, stdout io.Writer) error {
 	id := fs.String("id", "", "run a single experiment (E1..E13)")
 	seed := fs.Int64("seed", 1, "random seed")
 	format := fs.String("format", "text", "output format: text|markdown|csv")
+	workers := fs.Int("workers", 0, "solver worker pool size for the sweep experiments (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.Workers = *workers
 	if *format != "text" && *format != "markdown" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
 	}

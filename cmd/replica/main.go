@@ -1,19 +1,21 @@
 // Command replica solves a replica placement instance read from a
-// JSON file (or stdin) and prints the resulting placement.
+// JSON file (or stdin) and prints the resulting placement. Algorithms
+// are dispatched through the solver registry: any registered solver
+// can be selected by name.
 //
 // Usage:
 //
-//	replica -algo single-gen  -in instance.json
-//	replica -algo multiple-bin -in instance.json -format json
-//	treegen -kind binary -internals 10 | replica -algo exact-multiple
+//	replica -solver list
+//	replica -solver single-gen  -in instance.json
+//	replica -solver multiple-bin -in instance.json -format json
+//	treegen -kind binary -internals 10 | replica -solver exact-multiple
 //
-// Algorithms: single-gen (Algorithm 1, (Δ+1)-approx), single-nod
-// (Algorithm 2, 2-approx for NoD), multiple-bin (Algorithm 3, optimal
-// on binary trees with ri ≤ W), multiple-greedy (general arity),
-// exact-single / exact-multiple (optimal branch-and-bound baselines).
+// See README.md for the solver catalogue; -solver list prints the
+// registered set with policies.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,9 +23,9 @@ import (
 	"os"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/multiple"
 	"replicatree/internal/single"
+	"replicatree/internal/solver"
 )
 
 func main() {
@@ -35,7 +37,8 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replica", flag.ContinueOnError)
-	algo := fs.String("algo", "single-gen", "algorithm: single-gen|single-nod|multiple-bin|multiple-lazy|multiple-best|multiple-greedy|exact-single|exact-multiple")
+	name := fs.String("solver", "", "solver name from the registry, or 'list' to print the registered set")
+	algo := fs.String("algo", "", "deprecated alias for -solver")
 	inPath := fs.String("in", "-", "instance JSON file ('-' for stdin)")
 	format := fs.String("format", "text", "output format: text|json|dot")
 	pushup := fs.Bool("pushup", false, "apply the push-up post-pass (Single policy only)")
@@ -44,9 +47,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *name == "" {
+		*name = *algo
+	}
+	if *name == "" {
+		*name = solver.SingleGen
+	}
+	if *name == "list" {
+		for _, s := range solver.Solvers() {
+			kind := "heuristic"
+			if solver.IsExact(s) {
+				kind = "exact"
+			}
+			fmt.Fprintf(stdout, "%-16s %-8s %s\n", s.Name(), solver.PolicyOf(s), kind)
+		}
+		return nil
+	}
+	s, err := solver.Get(*name)
+	if err != nil {
+		return err
+	}
 
 	var data []byte
-	var err error
 	if *inPath == "-" {
 		data, err = io.ReadAll(stdin)
 	} else {
@@ -60,45 +82,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	var sol *core.Solution
-	pol := core.Single
-	switch *algo {
-	case "single-gen":
-		sol, err = single.Gen(&in)
-	case "single-nod":
-		sol, err = single.NoD(&in)
-	case "multiple-bin":
-		pol = core.Multiple
-		sol, err = multiple.Bin(&in)
-	case "multiple-lazy":
-		pol = core.Multiple
-		sol, err = multiple.Lazy(&in)
-	case "multiple-best":
-		pol = core.Multiple
-		sol, err = multiple.Best(&in)
-	case "multiple-greedy":
-		pol = core.Multiple
-		sol, err = multiple.Greedy(&in)
-	case "exact-single":
-		sol, err = exact.SolveSingle(&in, exact.Options{Budget: *budget})
-	case "exact-multiple":
-		pol = core.Multiple
-		sol, err = exact.SolveMultiple(&in, exact.Options{Budget: *budget})
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
-	}
+	ctx := solver.WithBudget(context.Background(), *budget)
+	sol, err := s.Solve(ctx, &in)
 	if err != nil {
 		return err
 	}
+	pol := solver.PolicyOf(s)
 	if *pushup {
 		if pol != core.Single {
-			return fmt.Errorf("-pushup applies to Single-policy algorithms only")
+			return fmt.Errorf("-pushup applies to Single-policy solvers only")
 		}
 		sol = single.PushUp(&in, sol)
 	}
 	if *latency {
 		if pol != core.Multiple {
-			return fmt.Errorf("-latency applies to Multiple-policy algorithms only")
+			return fmt.Errorf("-latency applies to Multiple-policy solvers only")
 		}
 		sol, err = multiple.MinimizeLatency(&in, sol)
 		if err != nil {

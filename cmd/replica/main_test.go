@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"replicatree/internal/core"
+	"replicatree/internal/solver"
 	"replicatree/internal/tree"
 )
 
@@ -28,25 +29,55 @@ func instanceJSON(t *testing.T) string {
 	return string(data)
 }
 
-func TestRunAllAlgorithms(t *testing.T) {
-	for _, algo := range []string{
-		"single-gen", "single-nod", "multiple-bin", "multiple-lazy",
-		"multiple-best", "multiple-greedy", "exact-single", "exact-multiple",
-	} {
+// TestRunEveryRegisteredSolver drives the CLI through the whole
+// registry: on a small NoD instance, every registered solver must
+// produce a verified placement.
+func TestRunEveryRegisteredSolver(t *testing.T) {
+	for _, name := range solver.List() {
 		var out bytes.Buffer
-		err := run([]string{"-algo", algo}, strings.NewReader(instanceJSON(t)), &out)
+		err := run([]string{"-solver", name}, strings.NewReader(instanceJSON(t)), &out)
 		if err != nil {
-			t.Fatalf("%s: %v", algo, err)
+			t.Fatalf("%s: %v", name, err)
 		}
 		if !strings.Contains(out.String(), "replicas:") {
-			t.Errorf("%s: missing replica summary:\n%s", algo, out.String())
+			t.Errorf("%s: missing replica summary:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestRunSolverList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-solver", "list"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(solver.List()) {
+		t.Fatalf("list printed %d lines for %d solvers:\n%s", len(lines), len(solver.List()), out.String())
+	}
+	for _, name := range solver.List() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %s", name)
+		}
+	}
+	if !strings.Contains(out.String(), "exact") || !strings.Contains(out.String(), "Multiple") {
+		t.Errorf("list output missing metadata columns:\n%s", out.String())
+	}
+}
+
+// TestRunAlgoAlias keeps the pre-registry flag working.
+func TestRunAlgoAlias(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "multiple-bin"}, strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "policy=Multiple") {
+		t.Errorf("alias dispatch wrong:\n%s", out.String())
 	}
 }
 
 func TestRunJSONAndDotFormats(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "single-gen", "-format", "json"},
+	if err := run([]string{"-solver", "single-gen", "-format", "json"},
 		strings.NewReader(instanceJSON(t)), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +89,7 @@ func TestRunJSONAndDotFormats(t *testing.T) {
 		t.Fatal("empty solution")
 	}
 	out.Reset()
-	if err := run([]string{"-algo", "single-gen", "-format", "dot"},
+	if err := run([]string{"-solver", "single-gen", "-format", "dot"},
 		strings.NewReader(instanceJSON(t)), &out); err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +100,11 @@ func TestRunJSONAndDotFormats(t *testing.T) {
 
 func TestRunPushUp(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "single-nod", "-pushup"},
+	if err := run([]string{"-solver", "single-nod", "-pushup"},
 		strings.NewReader(instanceJSON(t)), &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-algo", "multiple-bin", "-pushup"},
+	if err := run([]string{"-solver", "multiple-bin", "-pushup"},
 		strings.NewReader(instanceJSON(t)), &out); err == nil {
 		t.Fatal("pushup on Multiple should fail")
 	}
@@ -81,13 +112,26 @@ func TestRunPushUp(t *testing.T) {
 
 func TestRunLatency(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "multiple-best", "-latency"},
+	if err := run([]string{"-solver", "multiple-best", "-latency"},
 		strings.NewReader(instanceJSON(t)), &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-algo", "single-gen", "-latency"},
+	if err := run([]string{"-solver", "single-gen", "-latency"},
 		strings.NewReader(instanceJSON(t)), &out); err == nil {
 		t.Fatal("latency on Single should fail")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-solver", "exact-multiple", "-budget", "1"},
+		strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Fatal("a starvation budget should exhaust the exact solver")
+	}
+	out.Reset()
+	if err := run([]string{"-solver", "exact-multiple", "-budget", "1000000"},
+		strings.NewReader(instanceJSON(t)), &out); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -97,15 +141,17 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "multiple-bin", "-in", path}, nil, &out); err != nil {
+	if err := run([]string{"-solver", "multiple-bin", "-in", path}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {
-		t.Error("unknown algorithm should fail")
+	if err := run([]string{"-solver", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {
+		t.Error("unknown solver should fail")
+	} else if !strings.Contains(err.Error(), "single-gen") {
+		t.Errorf("unknown-solver error should list the registry: %v", err)
 	}
 	if err := run([]string{"-format", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {
 		t.Error("unknown format should fail")

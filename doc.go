@@ -7,9 +7,11 @@
 // verifier (internal/core), the tree substrate (internal/tree), the
 // paper's three algorithms (internal/single, internal/multiple), exact
 // optimal baselines (internal/exact), instance generators including
-// the paper's proof gadgets (internal/gen), and the experiment harness
-// that regenerates every theorem/figure artifact
-// (internal/experiments). See README.md, DESIGN.md and EXPERIMENTS.md.
+// the paper's proof gadgets (internal/gen), the unified solver engine
+// — a registry over every algorithm plus a parallel batch runner
+// (internal/solver) — and the experiment harness that regenerates
+// every theorem/figure artifact (internal/experiments). See README.md
+// and DESIGN.md.
 //
 // The root package intentionally exports nothing; bench_test.go hosts
 // the benchmark suite, one benchmark per experiment.

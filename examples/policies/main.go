@@ -1,23 +1,32 @@
 // Policies: a side-by-side of the Single and Multiple access policies
 // on the same instance, including the paper's tight families — run
 // this to see the approximation ratios of Theorems 3 and 4 emerge and
-// the split assignments that make Multiple strictly stronger.
+// the split assignments that make Multiple strictly stronger. All
+// algorithms are dispatched by name through the solver registry, the
+// same way cmd/replica and the experiment sweeps do.
 //
 //	go run ./examples/policies
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/gen"
-	"replicatree/internal/multiple"
-	"replicatree/internal/single"
+	"replicatree/internal/solver"
 	"replicatree/internal/stats"
 	"replicatree/internal/tree"
 )
+
+func solve(name string, in *core.Instance) *core.Solution {
+	sol, err := solver.MustGet(name).Solve(context.Background(), in)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return sol
+}
 
 func main() {
 	splittingWins()
@@ -36,14 +45,8 @@ func splittingWins() {
 	b.Client(root, 1, 7, "c3")
 	in := &core.Instance{Tree: b.MustBuild(), W: 11, DMax: core.NoDistance}
 
-	sgl, err := exact.SolveSingle(in, exact.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	mul, err := multiple.Bin(in)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sgl := solve(solver.ExactSingle, in)
+	mul := solve(solver.MultipleBin, in)
 	fmt.Printf("same instance (22 requests, W=11):\n")
 	fmt.Printf("  Single optimum:   %d replicas — 7+8, 7 and no pair fits 11 exactly\n", sgl.NumReplicas())
 	fmt.Printf("  Multiple optimum: %d replicas — splits make 11+11 possible:\n", mul.NumReplicas())
@@ -64,10 +67,7 @@ func tightFamilies() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := single.Gen(res.Instance)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sol := solve(solver.SingleGen, res.Instance)
 		tabIm.AddRow(m, sol.NumReplicas(), res.OptReplicas,
 			float64(sol.NumReplicas())/float64(res.OptReplicas))
 	}
@@ -80,10 +80,7 @@ func tightFamilies() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := single.NoD(res.Instance)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sol := solve(solver.SingleNoD, res.Instance)
 		tabF4.AddRow(k, sol.NumReplicas(), res.OptReplicas,
 			float64(sol.NumReplicas())/float64(res.OptReplicas))
 	}
@@ -100,14 +97,8 @@ func tightFamilies() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := multiple.Greedy(res.Instance)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opt, err := exact.SolveMultiple(res.Instance, exact.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
+		sol := solve(solver.MultipleGreedy, res.Instance)
+		opt := solve(solver.ExactMultiple, res.Instance)
 		tabM.AddRow(k, sol.NumReplicas(), opt.NumReplicas())
 	}
 	fmt.Println(tabM)

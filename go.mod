@@ -1,0 +1,3 @@
+module replicatree
+
+go 1.22

@@ -1,52 +1,49 @@
 package replicatree_test
 
-// One-off helper to print the golden manifest. Run with:
-//   go test -run TestPrintGoldenManifest -v -tags never
-// (kept for regeneration; skipped by default)
+// Corpus regeneration and sync checks. The corpus itself is produced
+// by cmd/goldengen (shared with `go generate .`); this file wires it
+// into the test workflow:
+//
+//   - TestGoldenCorpusInSync always verifies that the checked-in
+//     testdata/ bytes match a fresh deterministic regeneration, so a
+//     drive-by edit of an algorithm, a generator seed or the solver
+//     registry cannot silently diverge from the golden numbers.
+//   - REGEN_GOLDEN=1 go test -run TestRegenerateGoldenCorpus rewrites
+//     testdata/ in place after a deliberate behaviour change.
 
 import (
-	"encoding/json"
-	"fmt"
+	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
-
-	"replicatree/internal/core"
-	"replicatree/internal/multiple"
-	"replicatree/internal/single"
 )
 
-func TestPrintGoldenManifest(t *testing.T) {
+func TestGoldenCorpusInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sync check shells out to go run; skipped in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./cmd/goldengen", "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("testdata/ out of sync with cmd/goldengen (rerun `go generate .`): %v\n%s", err, out)
+	}
+}
+
+func TestRegenerateGoldenCorpus(t *testing.T) {
 	if os.Getenv("REGEN_GOLDEN") == "" {
-		t.Skip("set REGEN_GOLDEN=1 to regenerate the manifest")
+		t.Skip("set REGEN_GOLDEN=1 to regenerate testdata/")
 	}
-	files, _ := filepath.Glob("testdata/*.json")
-	out := map[string]map[string]int{}
-	for _, f := range files {
-		if filepath.Base(f) == "manifest.json" {
-			continue
-		}
-		data, err := os.ReadFile(f)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var in core.Instance
-		if err := json.Unmarshal(data, &in); err != nil {
-			t.Fatal(err)
-		}
-		rec := map[string]int{}
-		if g, err := single.Gen(&in); err == nil {
-			rec["single-gen"] = g.NumReplicas()
-		}
-		if nd, err := single.NoD(&in); err == nil {
-			rec["single-nod"] = nd.NumReplicas()
-		}
-		if mb, err := multiple.Best(&in); err == nil {
-			rec["multiple-best"] = mb.NumReplicas()
-		}
-		rec["lower-bound"] = core.LowerBound(&in)
-		out[filepath.Base(f)] = rec
+	out, err := exec.Command("go", "run", "./cmd/goldengen").CombinedOutput()
+	if err != nil {
+		t.Fatalf("goldengen: %v\n%s", err, out)
 	}
-	data, _ := json.MarshalIndent(out, "", "  ")
-	fmt.Println(string(data))
+	t.Logf("regenerated:\n%s", out)
+	// Guard against a silently empty regeneration.
+	data, err := os.ReadFile(filepath.Join("testdata", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("single-gen")) {
+		t.Fatal("manifest regenerated without solver entries")
+	}
 }

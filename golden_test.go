@@ -1,20 +1,24 @@
 package replicatree_test
 
 // Golden regression tests: a frozen corpus of instances in testdata/
-// with recorded replica counts per algorithm (testdata/manifest.json).
-// Any behavioural drift in the deterministic algorithms shows up here
-// immediately. Regenerate with REGEN_GOLDEN=1 (see golden_gen_test.go)
-// only after deliberately changing algorithm behaviour.
+// (generated deterministically by cmd/goldengen from gen.Corpus())
+// with recorded replica counts per registered solver
+// (testdata/manifest.json). Any behavioural drift in the deterministic
+// algorithms shows up here immediately. Regenerate with REGEN_GOLDEN=1
+// (see golden_gen_test.go) or `go generate .` only after deliberately
+// changing algorithm or generator behaviour.
+
+//go:generate go run ./cmd/goldengen
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"replicatree/internal/core"
-	"replicatree/internal/multiple"
-	"replicatree/internal/single"
+	"replicatree/internal/solver"
 )
 
 func TestGoldenCorpus(t *testing.T) {
@@ -29,6 +33,7 @@ func TestGoldenCorpus(t *testing.T) {
 	if len(manifest) < 8 {
 		t.Fatalf("manifest has only %d entries", len(manifest))
 	}
+	ctx := context.Background()
 	for file, want := range manifest {
 		raw, err := os.ReadFile(filepath.Join("testdata", file))
 		if err != nil {
@@ -41,40 +46,47 @@ func TestGoldenCorpus(t *testing.T) {
 		if got := core.LowerBound(&in); got != want["lower-bound"] {
 			t.Errorf("%s: LowerBound = %d, golden %d", file, got, want["lower-bound"])
 		}
-		if wantN, ok := want["single-gen"]; ok {
-			sol, err := single.Gen(&in)
-			if err != nil {
-				t.Errorf("%s single-gen: %v", file, err)
-			} else if sol.NumReplicas() != wantN {
-				t.Errorf("%s: single-gen = %d, golden %d", file, sol.NumReplicas(), wantN)
+		// Every solver the registry knows is golden; a manifest key
+		// with no registered solver means one was renamed or dropped
+		// without regenerating the corpus.
+		for name := range want {
+			if name == "lower-bound" {
+				continue
+			}
+			if _, err := solver.Get(name); err != nil {
+				t.Errorf("%s: manifest records unknown solver %q", file, name)
 			}
 		}
-		if wantN, ok := want["single-nod"]; ok {
-			sol, err := single.NoD(&in)
-			if err != nil {
-				t.Errorf("%s single-nod: %v", file, err)
-			} else if sol.NumReplicas() != wantN {
-				t.Errorf("%s: single-nod = %d, golden %d", file, sol.NumReplicas(), wantN)
+		for _, s := range solver.Solvers() {
+			wantN, ok := want[s.Name()]
+			if !ok {
+				continue // solver does not apply to this instance
 			}
-		}
-		if wantN, ok := want["multiple-best"]; ok {
-			sol, err := multiple.Best(&in)
+			sol, err := s.Solve(ctx, &in)
 			if err != nil {
-				t.Errorf("%s multiple-best: %v", file, err)
-			} else if sol.NumReplicas() != wantN {
-				t.Errorf("%s: multiple-best = %d, golden %d", file, sol.NumReplicas(), wantN)
+				t.Errorf("%s %s: %v", file, s.Name(), err)
+				continue
+			}
+			if sol.NumReplicas() != wantN {
+				t.Errorf("%s: %s = %d, golden %d", file, s.Name(), sol.NumReplicas(), wantN)
+			}
+			if err := core.Verify(&in, solver.PolicyOf(s), sol); err != nil {
+				t.Errorf("%s: %s solution infeasible: %v", file, s.Name(), err)
 			}
 		}
 	}
 }
 
 // TestGoldenCorpusSanity cross-checks structural relations the corpus
-// must satisfy regardless of the recorded numbers.
+// must satisfy regardless of the recorded numbers: heuristics respect
+// the exact optima recorded for their policy, and no bound exceeds
+// the Multiple optimum.
 func TestGoldenCorpusSanity(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	instances := 0
 	for _, f := range files {
 		if filepath.Base(f) == "manifest.json" {
@@ -92,24 +104,35 @@ func TestGoldenCorpusSanity(t *testing.T) {
 			t.Fatalf("%s: %v", f, err)
 		}
 		instances++
+		optM, err := solver.MustGet(solver.ExactMultiple).Solve(ctx, &in)
+		if err != nil {
+			t.Fatalf("%s: exact-multiple: %v", f, err)
+		}
+		if optM.NumReplicas() < core.LowerBound(&in) {
+			t.Errorf("%s: Multiple optimum below the combinatorial lower bound", f)
+		}
 		if !in.FitsLocally() {
-			// The oversized-client gadget (I6): only the exact and
-			// hetero machinery apply; nothing more to check here.
+			// The oversized-client gadget (I6): the Single-policy and
+			// binary-only machinery does not apply; the exact-vs-bound
+			// relation above is all we can check.
 			continue
 		}
-		mb, err := multiple.Best(&in)
-		if err != nil {
-			t.Fatalf("%s: %v", f, err)
-		}
-		sg, err := single.Gen(&in)
-		if err != nil {
-			t.Fatalf("%s: %v", f, err)
-		}
-		if mb.NumReplicas() > sg.NumReplicas() {
-			t.Errorf("%s: Multiple heuristic above Single heuristic", f)
-		}
-		if mb.NumReplicas() < core.LowerBound(&in) {
-			t.Errorf("%s: below lower bound", f)
+		for _, s := range solver.Solvers() {
+			if solver.IsExact(s) && solver.PolicyOf(s) == core.Multiple {
+				// Their result is optM by definition; skip the
+				// redundant (and expensive) re-solve.
+				continue
+			}
+			sol, err := s.Solve(ctx, &in)
+			if err != nil {
+				continue // NoD-gated or shape-gated solver
+			}
+			if solver.PolicyOf(s) == core.Multiple && sol.NumReplicas() < optM.NumReplicas() {
+				t.Errorf("%s: %s beat the Multiple optimum", f, s.Name())
+			}
+			if sol.NumReplicas() < core.LowerBound(&in) {
+				t.Errorf("%s: %s below lower bound", f, s.Name())
+			}
 		}
 	}
 	if instances < 8 {

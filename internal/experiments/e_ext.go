@@ -5,11 +5,11 @@ import (
 	"math/rand"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/gen"
 	"replicatree/internal/lp"
 	"replicatree/internal/multiple"
 	"replicatree/internal/sim"
+	"replicatree/internal/solver"
 	"replicatree/internal/stats"
 )
 
@@ -32,20 +32,24 @@ func E11LowerBounds(scale Scale, seed int64) *Result {
 		var vol, comb, lprel, binz []float64
 		valid := true
 		n := 0
-		for i := 0; i < trials; i++ {
-			in := gen.RandomInstance(rng, gen.TreeConfig{
+		ins := make([]*core.Instance, trials)
+		for i := range ins {
+			ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
 				Internals:    1 + rng.Intn(4),
 				MaxArity:     3 + rng.Intn(2),
 				MaxDist:      3,
 				MaxReq:       9,
 				ExtraClients: rng.Intn(3),
 			}, withD)
-			opt, err := exact.SolveMultiple(in, exact.Options{})
-			if err != nil {
+		}
+		opts := solveAll(solver.ExactMultiple, ins)
+		for i := 0; i < trials; i++ {
+			in := ins[i]
+			if opts[i].Err != nil {
 				ok = false
 				continue
 			}
-			o := float64(opt.NumReplicas())
+			o := float64(opts[i].Solution.NumReplicas())
 			if o == 0 {
 				continue
 			}
@@ -124,7 +128,13 @@ func E12FaultTolerance(scale Scale, seed int64) *Result {
 	}
 	tight, headroom := &agg{}, &agg{}
 
-	for i := 0; i < trials; i++ {
+	// Generate both deployment plans up front, then solve them all in
+	// one Batch fan-out: the tight plan at the true W and the headroom
+	// plan at 70% of W (but never below the largest client), operated
+	// at the true W.
+	ins := make([]*core.Instance, trials)
+	headIns := make([]*core.Instance, trials)
+	for i := range ins {
 		in := gen.RandomInstance(rng, gen.TreeConfig{
 			Internals:    2 + rng.Intn(5),
 			MaxArity:     2,
@@ -132,22 +142,23 @@ func E12FaultTolerance(scale Scale, seed int64) *Result {
 			MaxReq:       9,
 			ExtraClients: 1 + rng.Intn(3),
 		}, false)
-		tightSol, err := multiple.Best(in)
-		if err != nil {
-			ok = false
-			continue
-		}
-		// Headroom plan: pretend capacity is 70% of W (but never below
-		// the largest client), operate at the true W.
+		ins[i] = in
 		plannedW := in.W * 7 / 10
 		if m := in.Tree.MaxRequests(); plannedW < m {
 			plannedW = m
 		}
-		headSol, err := multiple.Best(&core.Instance{Tree: in.Tree, W: plannedW, DMax: in.DMax})
-		if err != nil {
+		headIns[i] = &core.Instance{Tree: in.Tree, W: plannedW, DMax: in.DMax}
+	}
+	tightRes := solveAll(solver.MultipleBest, ins)
+	headRes := solveAll(solver.MultipleBest, headIns)
+
+	for i := 0; i < trials; i++ {
+		in := ins[i]
+		if tightRes[i].Err != nil || headRes[i].Err != nil {
 			ok = false
 			continue
 		}
+		tightSol, headSol := tightRes[i].Solution, headRes[i].Solution
 
 		for _, pc := range []struct {
 			sol *core.Solution

@@ -7,10 +7,10 @@ import (
 
 	"replicatree/internal/binpack"
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/gen"
 	"replicatree/internal/multiple"
 	"replicatree/internal/single"
+	"replicatree/internal/solver"
 	"replicatree/internal/stats"
 )
 
@@ -19,7 +19,9 @@ import (
 // far each sits from the unconstrained bin-packing bound, and what the
 // PushUp post-pass (the conclusion's future-work idea) buys on top of
 // single-nod. All means over random binary NoD instances, where every
-// algorithm in the repository applies.
+// algorithm in the repository applies. Every algorithmic row is a
+// registry sweep over the shared instance set, fanned out by
+// solver.Batch; the bin-packing and volume baselines stay inline.
 func E9PolicyComparison(scale Scale, seed int64) *Result {
 	rng := rand.New(rand.NewSource(seed + 9))
 	trials := 40
@@ -31,63 +33,63 @@ func E9PolicyComparison(scale Scale, seed int64) *Result {
 
 	type row struct {
 		name   string
+		solver string // empty for the inline baselines
 		policy core.Policy
 		sizes  []float64
 		ratios []float64
 		hits   int
 	}
 	rows := []*row{
-		{name: "single-gen (Alg 1)", policy: core.Single},
-		{name: "single-nod (Alg 2)", policy: core.Single},
-		{name: "single-nod + push-up", policy: core.Single},
-		{name: "exact Single (B&B)", policy: core.Single},
-		{name: "multiple-bin (Alg 3)", policy: core.Multiple},
-		{name: "exact Multiple (B&B)", policy: core.Multiple},
+		{name: "single-gen (Alg 1)", solver: solver.SingleGen, policy: core.Single},
+		{name: "single-nod (Alg 2)", solver: solver.SingleNoD, policy: core.Single},
+		{name: "single-nod + push-up", solver: solver.SinglePushUp, policy: core.Single},
+		{name: "exact Single (B&B)", solver: solver.ExactSingle, policy: core.Single},
+		{name: "multiple-bin (Alg 3)", solver: solver.MultipleBin, policy: core.Multiple},
+		{name: "exact Multiple (B&B)", solver: solver.ExactMultiple, policy: core.Multiple},
 		{name: "bin-packing FFD (no tree)", policy: core.Multiple},
 		{name: "volume bound ⌈Σr/W⌉", policy: core.Multiple},
 	}
 	ok := true
 	var savings []float64
-	for i := 0; i < trials; i++ {
-		in := gen.RandomInstance(rng, gen.TreeConfig{
+
+	ins := make([]*core.Instance, trials)
+	for i := range ins {
+		ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
 			Internals:    1 + rng.Intn(4),
 			MaxArity:     2,
 			MaxDist:      3,
 			MaxReq:       9,
 			ExtraClients: rng.Intn(3),
 		}, false)
-		optS, err := exact.SolveSingle(in, exact.Options{})
-		if err != nil {
-			ok = false
-			continue
+	}
+	sweeps := make(map[string][]solver.Result, len(rows))
+	for _, r := range rows {
+		if r.solver != "" && sweeps[r.solver] == nil {
+			sweeps[r.solver] = solveAll(r.solver, ins)
 		}
-		optM, err := exact.SolveMultiple(in, exact.Options{})
-		if err != nil {
-			ok = false
-			continue
-		}
+	}
+	optSIdx, optMIdx := sweeps[solver.ExactSingle], sweeps[solver.ExactMultiple]
+
+	for i := 0; i < trials; i++ {
+		in := ins[i]
 		counts := make([]int, len(rows))
-		g, err := single.Gen(in)
-		if err != nil {
+		failed := false
+		for k, r := range rows {
+			if r.solver == "" {
+				continue
+			}
+			res := sweeps[r.solver][i]
+			if res.Err != nil {
+				failed = true
+				break
+			}
+			counts[k] = res.Solution.NumReplicas()
+		}
+		if failed {
 			ok = false
 			continue
 		}
-		counts[0] = g.NumReplicas()
-		nd, err := single.NoD(in)
-		if err != nil {
-			ok = false
-			continue
-		}
-		counts[1] = nd.NumReplicas()
-		counts[2] = single.PushUp(in, nd).NumReplicas()
-		counts[3] = optS.NumReplicas()
-		mb, err := multiple.Bin(in)
-		if err != nil {
-			ok = false
-			continue
-		}
-		counts[4] = mb.NumReplicas()
-		counts[5] = optM.NumReplicas()
+		optS, optM := optSIdx[i].Solution, optMIdx[i].Solution
 		var items []int64
 		for _, c := range in.Tree.Clients() {
 			if r := in.Tree.Requests(c); r > 0 {

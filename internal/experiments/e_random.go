@@ -5,16 +5,16 @@ import (
 	"math/rand"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/gen"
-	"replicatree/internal/multiple"
-	"replicatree/internal/single"
+	"replicatree/internal/solver"
 	"replicatree/internal/stats"
 )
 
 // E4NoDRatio reproduces Corollary 1: without distance constraints,
 // single-gen is a Δ-approximation. We measure its empirical ratio
 // against the exact optimum on random instances grouped by arity.
+// Instances are generated sequentially; the solves fan out over the
+// solver.Batch worker pool.
 func E4NoDRatio(scale Scale, seed int64) *Result {
 	rng := rand.New(rand.NewSource(seed + 4))
 	trials := 30
@@ -25,26 +25,26 @@ func E4NoDRatio(scale Scale, seed int64) *Result {
 		"Δ", "trials", "mean ratio", "max ratio", "bound Δ", "holds")
 	ok := true
 	for _, arity := range []int{2, 3, 4} {
-		var ratios []float64
-		for i := 0; i < trials; i++ {
-			in := gen.RandomInstance(rng, gen.TreeConfig{
+		ins := make([]*core.Instance, trials)
+		for i := range ins {
+			ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
 				Internals:    1 + rng.Intn(4),
 				MaxArity:     arity,
 				MaxDist:      3,
 				MaxReq:       9,
 				ExtraClients: rng.Intn(3),
 			}, false)
-			sol, err := single.Gen(in)
-			if err != nil {
+		}
+		sols := solveAll(solver.SingleGen, ins)
+		opts := solveAll(solver.ExactSingle, ins)
+		var ratios []float64
+		for i := range ins {
+			if sols[i].Err != nil || opts[i].Err != nil {
 				ok = false
 				continue
 			}
-			opt, err := exact.SolveSingle(in, exact.Options{})
-			if err != nil {
-				ok = false
-				continue
-			}
-			ratios = append(ratios, float64(sol.NumReplicas())/float64(opt.NumReplicas()))
+			ratios = append(ratios,
+				float64(sols[i].Solution.NumReplicas())/float64(opts[i].Solution.NumReplicas()))
 		}
 		holds := stats.Max(ratios) <= float64(arity)+1e-9
 		if !holds {
@@ -80,19 +80,18 @@ func E7MultipleBinOptimal(scale Scale, seed int64) *Result {
 		"variant", "distance", "trials", "optimal", "rate", "max gap")
 	ok := true
 	variants := []struct {
-		name string
-		fn   func(*core.Instance) (*core.Solution, error)
+		name   string
+		solver string
 	}{
-		{"eager (paper)", multiple.Bin},
-		{"lazy", multiple.Lazy},
-		{"best", multiple.Best},
+		{"eager (paper)", solver.MultipleBin},
+		{"lazy", solver.MultipleLazy},
+		{"best", solver.MultipleBest},
 	}
 	for _, withD := range []bool{false, true} {
 		// One shared instance stream per distance regime so the
 		// variants are compared on identical inputs.
 		ins := make([]*core.Instance, trials)
-		opts := make([]int, trials)
-		for i := 0; i < trials; i++ {
+		for i := range ins {
 			ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
 				Internals:    1 + rng.Intn(5),
 				MaxArity:     2,
@@ -100,22 +99,23 @@ func E7MultipleBinOptimal(scale Scale, seed int64) *Result {
 				MaxReq:       9,
 				ExtraClients: rng.Intn(3),
 			}, withD)
-			opt, err := exact.SolveMultiple(ins[i], exact.Options{})
-			if err != nil {
+		}
+		opts := make([]int, trials)
+		for i, r := range solveAll(solver.ExactMultiple, ins) {
+			if r.Err != nil {
 				return &Result{ID: "E7", Title: "Theorem 6", Table: tab,
-					Notes: []string{"exact solver failed: " + err.Error()}}
+					Notes: []string{"exact solver failed: " + r.Err.Error()}}
 			}
-			opts[i] = opt.NumReplicas()
+			opts[i] = r.Solution.NumReplicas()
 		}
 		for _, v := range variants {
 			optimal, maxGap := 0, 0
-			for i := 0; i < trials; i++ {
-				sol, err := v.fn(ins[i])
-				if err != nil {
+			for i, r := range solveAll(v.solver, ins) {
+				if r.Err != nil {
 					ok = false
 					continue
 				}
-				gap := sol.NumReplicas() - opts[i]
+				gap := r.Solution.NumReplicas() - opts[i]
 				if gap == 0 {
 					optimal++
 				}
@@ -162,27 +162,26 @@ func E8GreedyMultiple(scale Scale, seed int64) *Result {
 	ok := true
 	worstGapNoD := 0
 	for _, withD := range []bool{false, true} {
-		optimal := 0
-		var gaps []float64
-		for i := 0; i < trials; i++ {
-			in := gen.RandomInstance(rng, gen.TreeConfig{
+		ins := make([]*core.Instance, trials)
+		for i := range ins {
+			ins[i] = gen.RandomInstance(rng, gen.TreeConfig{
 				Internals:    1 + rng.Intn(4),
 				MaxArity:     3 + rng.Intn(2),
 				MaxDist:      3,
 				MaxReq:       9,
 				ExtraClients: rng.Intn(4),
 			}, withD)
-			sol, err := multiple.Greedy(in)
-			if err != nil {
+		}
+		sols := solveAll(solver.MultipleGreedy, ins)
+		opts := solveAll(solver.ExactMultiple, ins)
+		optimal := 0
+		var gaps []float64
+		for i := range ins {
+			if sols[i].Err != nil || opts[i].Err != nil {
 				ok = false
 				continue
 			}
-			opt, err := exact.SolveMultiple(in, exact.Options{})
-			if err != nil {
-				ok = false
-				continue
-			}
-			gap := sol.NumReplicas() - opt.NumReplicas()
+			gap := sols[i].Solution.NumReplicas() - opts[i].Solution.NumReplicas()
 			if gap == 0 {
 				optimal++
 			}

@@ -9,10 +9,33 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
 	"replicatree/internal/stats"
 )
+
+// Workers bounds the worker pools of the solver.Batch sweeps; 0 means
+// GOMAXPROCS. cmd/experiments exposes it as -workers; tests pin it to
+// check that parallel and sequential sweeps agree.
+var Workers int
+
+// solveAll routes one registered solver over every instance through a
+// shared solver.Batch pool, returning per-instance results in input
+// order. Instance generation stays on a single sequential rng stream
+// and aggregation consumes results by index, so every table is
+// bit-identical for any worker count.
+func solveAll(name string, ins []*core.Instance) []solver.Result {
+	s := solver.MustGet(name)
+	tasks := make([]solver.Task, len(ins))
+	for i, in := range ins {
+		tasks[i] = solver.Task{Solver: s, Instance: in}
+	}
+	res, _ := solver.Batch(context.Background(), tasks, solver.Options{Workers: Workers})
+	return res
+}
 
 // Result is one experiment's outcome.
 type Result struct {

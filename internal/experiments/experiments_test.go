@@ -76,3 +76,25 @@ func TestResultStringStatus(t *testing.T) {
 		t.Fatal("expected MISMATCH status")
 	}
 }
+
+// TestSweepsIdenticalAcrossWorkerCounts pins the Batch-refactor
+// contract: the random/policy/extension sweeps must produce
+// bit-identical tables whether the solver pool runs sequentially or
+// wide.
+func TestSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	old := Workers
+	defer func() { Workers = old }()
+	for _, f := range []func(Scale, int64) *Result{
+		E4NoDRatio, E7MultipleBinOptimal, E8GreedyMultiple,
+		E9PolicyComparison, E11LowerBounds, E12FaultTolerance,
+	} {
+		Workers = 1
+		seq := f(Quick, 3)
+		Workers = 8
+		par := f(Quick, 3)
+		if seq.Table.String() != par.Table.String() {
+			t.Errorf("%s: parallel table diverges from sequential:\n--- workers=1\n%s\n--- workers=8\n%s",
+				seq.ID, seq.Table, par.Table)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"replicatree/internal/core"
+)
+
+// CorpusEntry is one instance of the golden regression corpus checked
+// into testdata/.
+type CorpusEntry struct {
+	// Name is the file base name under testdata/.
+	Name     string
+	Instance *core.Instance
+}
+
+// Corpus returns the deterministic golden corpus: a spread of random
+// binary/general trees across both distance regimes, the structured
+// generators, and the paper's proof gadgets (including the oversized
+// client gadget I6, on which only the exact/hetero machinery applies).
+//
+// The seeds are frozen: regenerating testdata/ (go generate ./... or
+// REGEN_GOLDEN=1) must be a no-op unless an algorithm or generator
+// deliberately changed behaviour. Keep instances small enough for the
+// exact solvers — the manifest records every registered solver.
+func Corpus() []CorpusEntry {
+	var out []CorpusEntry
+	add := func(name string, in *core.Instance) {
+		if err := in.Validate(); err != nil {
+			panic(fmt.Sprintf("gen: corpus instance %s invalid: %v", name, err))
+		}
+		out = append(out, CorpusEntry{Name: name, Instance: in})
+	}
+	random := func(seed int64, cfg TreeConfig, withD bool) *core.Instance {
+		return RandomInstance(rand.New(rand.NewSource(seed)), cfg, withD)
+	}
+
+	binCfg := TreeConfig{Internals: 3, MaxArity: 2, MaxDist: 3, MaxReq: 9, ExtraClients: 2}
+	wideCfg := TreeConfig{Internals: 4, MaxArity: 4, MaxDist: 3, MaxReq: 9, ExtraClients: 2}
+	add("binary_nod_1.json", random(101, binCfg, false))
+	add("binary_nod_2.json", random(102, TreeConfig{Internals: 4, MaxArity: 2, MaxDist: 3, MaxReq: 9, ExtraClients: 3}, false))
+	add("binary_dist_1.json", random(103, binCfg, true))
+	add("binary_dist_2.json", random(104, TreeConfig{Internals: 4, MaxArity: 2, MaxDist: 3, MaxReq: 9, ExtraClients: 3}, true))
+	add("wide_nod.json", random(105, wideCfg, false))
+	add("wide_dist.json", random(106, wideCfg, true))
+
+	cat := Caterpillar(rand.New(rand.NewSource(107)), 6, 3, 9)
+	add("caterpillar_nod.json", &core.Instance{Tree: cat, W: cat.MaxRequests() + 5, DMax: core.NoDistance})
+	cb := CompleteBinary(rand.New(rand.NewSource(108)), 3, 3, 9)
+	add("complete_nod.json", &core.Instance{Tree: cb, W: cb.MaxRequests() + 6, DMax: core.NoDistance})
+
+	im, err := GadgetIm(3, 3)
+	if err != nil {
+		panic(err)
+	}
+	add("gadget_im.json", im.Instance)
+	f4, err := GadgetFig4(4)
+	if err != nil {
+		panic(err)
+	}
+	add("gadget_fig4.json", f4.Instance)
+	i2, _, err := GadgetI2([]int64{5, 5, 6, 5, 5, 6}, 16)
+	if err != nil {
+		panic(err)
+	}
+	add("gadget_i2.json", i2)
+	i6, _, err := GadgetI6([]int64{1, 2, 2, 2, 2, 3, 3, 3})
+	if err != nil {
+		panic(err)
+	}
+	add("gadget_i6.json", i6)
+	return out
+}

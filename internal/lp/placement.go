@@ -20,8 +20,24 @@ import (
 // bound for Multiple (and hence for Single, whose optimum is never
 // smaller). Returns the fractional objective.
 func FractionalReplicas(in *core.Instance) (float64, error) {
-	if err := in.Validate(); err != nil {
+	p, _, _, err := buildPlacement(in)
+	if err != nil || p == nil {
 		return 0, err
+	}
+	_, obj, err := Solve(p)
+	if err != nil {
+		return 0, fmt.Errorf("lp: placement relaxation: %w", err)
+	}
+	return obj, nil
+}
+
+// buildPlacement constructs the placement relaxation. It returns the
+// problem, the candidate servers in variable order, and nx, the number
+// of x (assignment-arc) variables preceding the y (server-activation)
+// block. A nil problem means the instance has no requests.
+func buildPlacement(in *core.Instance) (p *Problem, servers []tree.NodeID, nx int, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, 0, err
 	}
 	t := in.Tree
 
@@ -29,7 +45,6 @@ func FractionalReplicas(in *core.Instance) (float64, error) {
 	var clients []tree.NodeID
 	elig := make(map[tree.NodeID][]tree.NodeID)
 	serverIdx := make(map[tree.NodeID]int)
-	var servers []tree.NodeID
 	for _, c := range t.Clients() {
 		if t.Requests(c) == 0 {
 			continue
@@ -44,7 +59,7 @@ func FractionalReplicas(in *core.Instance) (float64, error) {
 		}
 	}
 	if len(clients) == 0 {
-		return 0, nil
+		return nil, nil, 0, nil
 	}
 
 	// Variable layout: x arcs first, then y per server.
@@ -60,11 +75,11 @@ func FractionalReplicas(in *core.Instance) (float64, error) {
 			arcs = append(arcs, a)
 		}
 	}
-	nx := len(arcs)
+	nx = len(arcs)
 	ny := len(servers)
 	n := nx + ny
 
-	p := &Problem{C: make([]float64, n)}
+	p = &Problem{C: make([]float64, n)}
 	for k := 0; k < ny; k++ {
 		p.C[nx+k] = 1
 	}
@@ -98,12 +113,7 @@ func FractionalReplicas(in *core.Instance) (float64, error) {
 		row[nx+si] = 1
 		addRow(row, 1, LE)
 	}
-
-	_, obj, err := Solve(p)
-	if err != nil {
-		return 0, fmt.Errorf("lp: placement relaxation: %w", err)
-	}
-	return obj, nil
+	return p, servers, nx, nil
 }
 
 // LowerBound returns ⌈FractionalReplicas⌉, a valid lower bound on the

@@ -78,6 +78,13 @@ func RunWithFailures(in *core.Instance, pol core.Policy, sol *core.Solution, cfg
 	for _, a := range sol.Assignments {
 		planned[a.Client] = append(planned[a.Client], a)
 	}
+	// Re-homing competes for residual capacity, so the client
+	// processing order must be deterministic, not map order.
+	clients := make([]tree.NodeID, 0, len(planned))
+	for c := range planned {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
 
 	m := &FailureMetrics{}
 	m.Steps = cfg.Steps
@@ -100,7 +107,8 @@ func RunWithFailures(in *core.Instance, pol core.Policy, sol *core.Solution, cfg
 		}
 
 		var stepUnserved int64
-		for c, asgs := range planned {
+		for _, c := range clients {
+			asgs := planned[c]
 			demand := t.Requests(c)
 			m.TotalEmitted += demand
 

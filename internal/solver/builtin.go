@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/hetero"
+	"replicatree/internal/lp"
+	"replicatree/internal/multiple"
+	"replicatree/internal/single"
+)
+
+// Built-in solver names. Every algorithm the repository implements is
+// registered here; consumers dispatch by name via Get/List.
+const (
+	SingleGen      = "single-gen"      // Algorithm 1, (Δ+1)-approx, Single
+	SingleNoD      = "single-nod"      // Algorithm 2, 2-approx, Single-NoD
+	SinglePassUp   = "single-passup"   // pass-up variant of Algorithm 2, Single-NoD
+	SingleBest     = "single-best"     // min(single-nod, single-passup)
+	SinglePushUp   = "single-pushup"   // single-nod + push-up post-pass
+	MultipleBin    = "multiple-bin"    // Algorithm 3 (eager), Multiple, binary trees
+	MultipleLazy   = "multiple-lazy"   // lazy variant of Algorithm 3
+	MultipleBest   = "multiple-best"   // min(multiple-bin, multiple-lazy)
+	MultipleGreedy = "multiple-greedy" // general-arity generalisation of Algorithm 3
+	ExactSingle    = "exact-single"    // optimal Single branch-and-bound
+	ExactMultiple  = "exact-multiple"  // optimal Multiple set search + max-flow
+	LPRound        = "lp-round"        // LP relaxation support rounding, Multiple
+	HeteroGreedy   = "hetero-greedy"   // heterogeneous greedy at uniform capacity
+	HeteroExact    = "hetero-exact"    // heterogeneous exact at uniform capacity
+)
+
+func init() {
+	MustRegister(Wrap(SingleGen, core.Single, single.Gen))
+	MustRegister(Wrap(SingleNoD, core.Single, requireNoD(SingleNoD, single.NoD)))
+	MustRegister(Wrap(SinglePassUp, core.Single, requireNoD(SinglePassUp, single.NoDPassUp)))
+	MustRegister(Wrap(SingleBest, core.Single, requireNoD(SingleBest, single.NoDBest)))
+	MustRegister(Wrap(SinglePushUp, core.Single, requireNoD(SinglePushUp, func(in *core.Instance) (*core.Solution, error) {
+		sol, err := single.NoD(in)
+		if err != nil {
+			return nil, err
+		}
+		return single.PushUp(in, sol), nil
+	})))
+	MustRegister(Wrap(MultipleBin, core.Multiple, multiple.Bin))
+	MustRegister(Wrap(MultipleLazy, core.Multiple, multiple.Lazy))
+	MustRegister(Wrap(MultipleBest, core.Multiple, multiple.Best))
+	MustRegister(Wrap(MultipleGreedy, core.Multiple, multiple.Greedy))
+	MustRegister(exactSolver(ExactSingle, core.Single, exact.SolveSingle))
+	MustRegister(exactSolver(ExactMultiple, core.Multiple, exact.SolveMultiple))
+	MustRegister(Wrap(LPRound, core.Multiple, lp.Placement))
+	MustRegister(Wrap(HeteroGreedy, core.Multiple, func(in *core.Instance) (*core.Solution, error) {
+		return hetero.Greedy(hetero.FromUniform(in))
+	}))
+	MustRegister(&funcSolver{name: HeteroExact, pol: core.Multiple, exact: true,
+		fn: func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+			return hetero.Solve(hetero.FromUniform(in), BudgetFrom(ctx))
+		}})
+}
+
+// requireNoD guards the NoD-family solvers: they solve the relaxed
+// problem and their output has no dmax guarantee, so dispatching one
+// on a distance-constrained instance is a caller error, not a silent
+// near-miss.
+func requireNoD(name string, fn func(*core.Instance) (*core.Solution, error)) func(*core.Instance) (*core.Solution, error) {
+	return func(in *core.Instance) (*core.Solution, error) {
+		if !in.NoD() {
+			return nil, fmt.Errorf("solver %s: requires a NoD instance (dmax=%d is finite)", name, in.DMax)
+		}
+		return fn(in)
+	}
+}
+
+// exactSolver adapts the exact branch-and-bound solvers, threading the
+// work budget from the context (WithBudget) into exact.Options.
+func exactSolver(name string, pol core.Policy, fn func(*core.Instance, exact.Options) (*core.Solution, error)) Solver {
+	return &funcSolver{name: name, pol: pol, exact: true,
+		fn: func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+			return fn(in, exact.Options{Budget: BudgetFrom(ctx)})
+		}}
+}

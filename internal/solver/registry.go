@@ -1,0 +1,89 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps solver names to implementations. Built-in solvers
+// register at package init; extensions may Register more (a sharded
+// backend, a cached front, a new policy) without touching consumers.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds a solver under its name. Empty names, nil solvers and
+// duplicate names are rejected: a silent overwrite would let two
+// packages fight over a name and make golden results unreproducible.
+func Register(s Solver) error {
+	if s == nil {
+		return fmt.Errorf("solver: Register(nil)")
+	}
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("solver: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("solver: duplicate registration of %q", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(s Solver) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the solver registered under name. The error of an
+// unknown name lists the registered set, so CLI typos are
+// self-diagnosing.
+func Get(name string) (Solver, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(List(), ", "))
+	}
+	return s, nil
+}
+
+// MustGet is Get for names the caller knows are built-in.
+func MustGet(name string) Solver {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// List returns the registered solver names, sorted.
+func List() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Solvers returns the registered solvers in List() order.
+func Solvers() []Solver {
+	names := List()
+	out := make([]Solver, len(names))
+	regMu.RLock()
+	for i, name := range names {
+		out[i] = registry[name]
+	}
+	regMu.RUnlock()
+	return out
+}

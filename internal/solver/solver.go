@@ -1,0 +1,118 @@
+// Package solver unifies every replica placement algorithm in the
+// repository — the Single/Multiple heuristics, the exact
+// branch-and-bound baselines, the LP-rounding heuristic and the
+// heterogeneous solvers — behind one contract, one registry and one
+// parallel batch runner.
+//
+// The contract is deliberately minimal: a Solver has a name and turns
+// a core.Instance into a core.Solution. Everything a consumer needs
+// beyond that (which access policy the solution obeys, whether the
+// solver is exact) is exposed as registry metadata, so CLI tools,
+// experiment sweeps, golden tests and benchmarks can all dispatch by
+// name instead of hard-coding call signatures.
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"replicatree/internal/core"
+)
+
+// Solver is the common contract every algorithm adapter implements.
+type Solver interface {
+	Name() string
+	Solve(ctx context.Context, in *core.Instance) (*core.Solution, error)
+}
+
+// PolicyProvider is implemented by solvers that know which access
+// policy their solutions obey. All built-in solvers implement it;
+// consumers should use PolicyOf rather than type-asserting directly.
+type PolicyProvider interface {
+	Policy() core.Policy
+}
+
+// ExactProvider is implemented by solvers that return a provably
+// optimal solution (possibly within a work budget).
+type ExactProvider interface {
+	Exact() bool
+}
+
+// PolicyOf returns the access policy of s, defaulting to Single for
+// solvers that do not declare one (Single solutions are the
+// conservative choice: they verify under both policies' feasibility
+// rules only when unsplit, so a solver without metadata should be
+// treated as the stricter policy it claims nothing about).
+func PolicyOf(s Solver) core.Policy {
+	if p, ok := s.(PolicyProvider); ok {
+		return p.Policy()
+	}
+	return core.Single
+}
+
+// IsExact reports whether s declares itself an exact solver.
+func IsExact(s Solver) bool {
+	if e, ok := s.(ExactProvider); ok {
+		return e.Exact()
+	}
+	return false
+}
+
+// funcSolver adapts a plain function to the Solver contract.
+type funcSolver struct {
+	name  string
+	pol   core.Policy
+	exact bool
+	fn    func(context.Context, *core.Instance) (*core.Solution, error)
+}
+
+func (s *funcSolver) Name() string        { return s.name }
+func (s *funcSolver) Policy() core.Policy { return s.pol }
+func (s *funcSolver) Exact() bool         { return s.exact }
+
+func (s *funcSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, fmt.Errorf("solver %s: nil instance", s.name)
+	}
+	return s.fn(ctx, in)
+}
+
+func (s *funcSolver) String() string { return s.name }
+
+// New wraps a context-aware solve function as a Solver.
+func New(name string, pol core.Policy, fn func(context.Context, *core.Instance) (*core.Solution, error)) Solver {
+	return &funcSolver{name: name, pol: pol, fn: fn}
+}
+
+// Wrap adapts the repository's prevailing context-less algorithm
+// signature. The context is still honoured between Batch tasks and on
+// entry; the wrapped function itself runs to completion.
+func Wrap(name string, pol core.Policy, fn func(*core.Instance) (*core.Solution, error)) Solver {
+	return &funcSolver{name: name, pol: pol, fn: func(_ context.Context, in *core.Instance) (*core.Solution, error) {
+		return fn(in)
+	}}
+}
+
+// budgetKey carries the work budget for exact solvers through the
+// context, so budgeted and unbudgeted callers share one dispatch path.
+type budgetKey struct{}
+
+// WithBudget returns a context that instructs exact solvers to cap
+// their search at the given work budget (0 keeps their default).
+func WithBudget(ctx context.Context, budget int64) context.Context {
+	if budget <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, budget)
+}
+
+// BudgetFrom extracts the work budget from ctx, or 0 if unset.
+func BudgetFrom(ctx context.Context) int64 {
+	if b, ok := ctx.Value(budgetKey{}).(int64); ok {
+		return b
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"replicatree/internal/core"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := List()
+	if len(names) < 8 {
+		t.Fatalf("List() = %d solvers, want >= 8: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("List() not sorted: %v", names)
+	}
+	for _, want := range []string{
+		SingleGen, SingleNoD, SinglePassUp, SingleBest, SinglePushUp,
+		MultipleBin, MultipleLazy, MultipleBest, MultipleGreedy,
+		ExactSingle, ExactMultiple, LPRound, HeteroGreedy, HeteroExact,
+	} {
+		if _, err := Get(want); err != nil {
+			t.Errorf("built-in %q missing: %v", want, err)
+		}
+	}
+	if len(Solvers()) != len(names) {
+		t.Errorf("Solvers() returned %d entries for %d names", len(Solvers()), len(names))
+	}
+}
+
+func TestRegisterRejectsCollisionsAndNil(t *testing.T) {
+	if err := Register(nil); err == nil {
+		t.Error("Register(nil) should fail")
+	}
+	if err := Register(Wrap("", core.Single, nil)); err == nil {
+		t.Error("Register with empty name should fail")
+	}
+	if err := Register(Wrap(SingleGen, core.Single, nil)); err == nil {
+		t.Error("duplicate registration should fail")
+	} else if !strings.Contains(err.Error(), SingleGen) {
+		t.Errorf("duplicate error should name the solver: %v", err)
+	}
+	// A fresh name registers and is visible to Get and List. The
+	// registry is process-global with no Unregister, so the name must
+	// be unique per invocation (go test -count=N reuses the process).
+	name := fmt.Sprintf("test-tmp-solver-%d", atomic.AddInt32(&tmpSolverSeq, 1))
+	tmp := Wrap(name, core.Single, func(in *core.Instance) (*core.Solution, error) {
+		return core.Trivial(in), nil
+	})
+	if err := Register(tmp); err != nil {
+		t.Fatalf("fresh registration failed: %v", err)
+	}
+	if err := Register(tmp); err == nil {
+		t.Error("re-registration should fail")
+	}
+	if _, err := Get(name); err != nil {
+		t.Errorf("registered solver not gettable: %v", err)
+	}
+}
+
+var tmpSolverSeq int32
+
+func TestGetUnknownListsKnown(t *testing.T) {
+	_, err := Get("no-such-solver")
+	if err == nil {
+		t.Fatal("unknown solver should fail")
+	}
+	if !strings.Contains(err.Error(), SingleGen) || !strings.Contains(err.Error(), "no-such-solver") {
+		t.Errorf("error should name the typo and the known set: %v", err)
+	}
+}
+
+func TestPolicyAndExactMetadata(t *testing.T) {
+	cases := []struct {
+		name  string
+		pol   core.Policy
+		exact bool
+	}{
+		{SingleGen, core.Single, false},
+		{SingleNoD, core.Single, false},
+		{ExactSingle, core.Single, true},
+		{MultipleBest, core.Multiple, false},
+		{ExactMultiple, core.Multiple, true},
+		{LPRound, core.Multiple, false},
+		{HeteroGreedy, core.Multiple, false},
+		{HeteroExact, core.Multiple, true},
+	}
+	for _, c := range cases {
+		s := MustGet(c.name)
+		if got := PolicyOf(s); got != c.pol {
+			t.Errorf("%s: policy = %v, want %v", c.name, got, c.pol)
+		}
+		if got := IsExact(s); got != c.exact {
+			t.Errorf("%s: exact = %v, want %v", c.name, got, c.exact)
+		}
+	}
+	// A solver without metadata defaults to Single / not exact.
+	bare := bareSolver{}
+	if PolicyOf(bare) != core.Single || IsExact(bare) {
+		t.Error("metadata defaults wrong for bare solver")
+	}
+}
+
+type bareSolver struct{}
+
+func (bareSolver) Name() string { return "bare" }
+func (bareSolver) Solve(context.Context, *core.Instance) (*core.Solution, error) {
+	return nil, nil
+}
+
+func TestNoDGating(t *testing.T) {
+	in := withDistanceInstance(t)
+	for _, name := range []string{SingleNoD, SinglePassUp, SingleBest, SinglePushUp} {
+		if _, err := MustGet(name).Solve(context.Background(), in); err == nil {
+			t.Errorf("%s on a distance-constrained instance should fail", name)
+		}
+	}
+}
+
+func TestSolveHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MustGet(SingleGen).Solve(ctx, nodInstance(t)); err == nil {
+		t.Error("cancelled context should fail before solving")
+	}
+}
+
+func TestBudgetContext(t *testing.T) {
+	ctx := context.Background()
+	if got := BudgetFrom(ctx); got != 0 {
+		t.Fatalf("BudgetFrom(empty) = %d", got)
+	}
+	if got := BudgetFrom(WithBudget(ctx, 42)); got != 42 {
+		t.Fatalf("BudgetFrom = %d, want 42", got)
+	}
+	if WithBudget(ctx, 0) != ctx {
+		t.Error("WithBudget(0) should be a no-op")
+	}
+	// A starvation budget must abort the exact search with an error.
+	if _, err := MustGet(ExactMultiple).Solve(WithBudget(ctx, 1), nodInstance(t)); err == nil {
+		t.Error("budget of 1 should exhaust the exact solver")
+	}
+}
