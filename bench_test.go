@@ -6,9 +6,13 @@
 package replicatree_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"replicatree/internal/core"
@@ -18,6 +22,7 @@ import (
 	"replicatree/internal/hetero"
 	"replicatree/internal/lp"
 	"replicatree/internal/multiple"
+	"replicatree/internal/service"
 	"replicatree/internal/sim"
 	"replicatree/internal/single"
 	"replicatree/internal/solver"
@@ -453,6 +458,75 @@ func BenchmarkSolverBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Service benchmarks: the HTTP daemon's hot path. The cold series
+// disables the cache so every POST /v1/solve pays the full solve;
+// the warm series serves the same golden instance from the canonical-
+// hash LRU. The warm/cold ratio is the caching layer's whole point —
+// the acceptance bar is warm ≥ 10× faster than cold.
+
+// serviceSolveBody renders a POST /v1/solve body for an lp-round
+// placement on a ~200-node instance: a solve expensive enough (dense
+// simplex) that the cache, not HTTP or JSON, decides the outcome.
+func serviceSolveBody(b *testing.B) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 100, MaxArity: 3, MaxDist: 3, MaxReq: 12, ExtraClients: 50,
+	}, true)
+	body, err := json.Marshal(service.SolveRequest{Solver: solver.LPRound, Instance: in})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func benchServiceSolve(b *testing.B, cacheSize int) {
+	srv := service.New(service.Options{CacheSize: cacheSize})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := serviceSolveBody(b)
+
+	post := func() service.SolveResponse {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr service.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return sr
+	}
+	warmed := post() // populate the cache (no-op when disabled)
+	if wantCached := cacheSize > 0; warmed.Cached {
+		b.Fatal("first request reported cached")
+	} else if sr := post(); sr.Cached != wantCached {
+		b.Fatalf("cache state: got cached=%v, want %v", sr.Cached, wantCached)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+func BenchmarkServiceSolveCold(b *testing.B) { benchServiceSolve(b, 0) }
+func BenchmarkServiceSolveWarm(b *testing.B) { benchServiceSolve(b, service.DefaultCacheSize) }
+
+func BenchmarkCanonicalHash(b *testing.B) {
+	in := scalingInstance(1600, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in.CanonicalHash() == "" {
+			b.Fatal("empty hash")
+		}
 	}
 }
 

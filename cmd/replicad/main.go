@@ -1,0 +1,86 @@
+// Command replicad is the placement daemon: it serves the whole
+// solver registry over HTTP/JSON with a canonical-hash result cache
+// in front of the solvers (see internal/service and DESIGN.md).
+//
+// Usage:
+//
+//	replicad -addr :8080 -cache 1024 -job-workers 2
+//
+// Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
+// GET /v1/solvers, GET /healthz, GET /metrics. The daemon shuts down
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"replicatree/internal/service"
+	"replicatree/internal/solver"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replicad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replicad", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "result cache capacity in entries (0 disables caching)")
+	jobWorkers := fs.Int("job-workers", 2, "concurrently running batch jobs")
+	jobQueue := fs.Int("job-queue", 64, "queued batch jobs before /v1/batch returns 503")
+	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Options{
+		CacheSize:  *cacheSize,
+		JobWorkers: *jobWorkers,
+		JobQueue:   *jobQueue,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replicad: listening on http://%s (%d solvers, cache=%d)\n",
+		ln.Addr(), len(solver.List()), *cacheSize)
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "replicad: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

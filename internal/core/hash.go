@@ -1,0 +1,68 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"replicatree/internal/tree"
+)
+
+// This file defines the canonical instance hash: a deterministic
+// binary serialisation of everything that influences a solve, fed
+// through SHA-256. It is the cache key of the service layer — two
+// instances with equal hashes are guaranteed to admit exactly the same
+// solutions, so a cached placement can be replayed for either.
+//
+// The serialisation covers W, dmax and the tree arena (per node:
+// parent, edge length, request rate). It deliberately excludes node
+// labels: labels are presentation-only and never consulted by a
+// solver, so instances differing only in labels share a hash and a
+// cache line. Node IDs are part of the hash — solutions reference
+// nodes by ID, so isomorphic trees with different numberings must not
+// collide (their solutions are not interchangeable).
+
+// hashVersion is bumped whenever the serialisation below changes, so
+// persisted caches can never mix incompatible key spaces.
+const hashVersion = 1
+
+// CanonicalHash returns the canonical SHA-256 of the instance as a
+// lowercase hex string. It is deterministic across processes and
+// platforms, and defined (as a hash of what is present) even for
+// instances that fail Validate.
+func (in *Instance) CanonicalHash() string {
+	sum := in.canonicalSum()
+	return hex.EncodeToString(sum[:])
+}
+
+func (in *Instance) canonicalSum() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(hashVersion)
+	put(in.W)
+	put(in.DMax)
+	if t := in.Tree; t != nil {
+		put(int64(t.Root()))
+		put(int64(t.Len()))
+		for j := 0; j < t.Len(); j++ {
+			id := tree.NodeID(j)
+			put(int64(t.Parent(id)))
+			if id == t.Root() {
+				put(0) // Dist() reports Infinity for the root; the arena stores 0
+			} else {
+				put(t.Dist(id))
+			}
+			put(t.Requests(id))
+		}
+	} else {
+		put(int64(tree.None))
+		put(0)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func TestCanonicalHashDeterministic(t *testing.T) {
+	a := inst(t, 9, 5)
+	b := inst(t, 9, 5)
+	ha, hb := a.CanonicalHash(), b.CanonicalHash()
+	if ha != hb {
+		t.Fatalf("identical instances hash differently: %s vs %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Fatalf("hash is not hex SHA-256: %q", ha)
+	}
+	if ha != a.CanonicalHash() {
+		t.Fatal("hash not stable across calls")
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := inst(t, 9, 5)
+	h0 := base.CanonicalHash()
+
+	variants := map[string]*Instance{
+		"capacity": inst(t, 10, 5),
+		"dmax":     inst(t, 9, 6),
+		"nod":      inst(t, 9, NoDistance),
+	}
+	// Structural variants: change one request rate, one edge length.
+	req := tree.NewBuilder()
+	r := req.Root("root")
+	a := req.Internal(r, 1, "a")
+	bb := req.Internal(r, 2, "b")
+	req.Client(a, 3, 6, "c1") // r=6 instead of 5
+	req.Client(a, 1, 7, "c2")
+	req.Client(bb, 4, 2, "c3")
+	variants["requests"] = &Instance{Tree: req.MustBuild(), W: 9, DMax: 5}
+
+	dist := tree.NewBuilder()
+	r = dist.Root("root")
+	a = dist.Internal(r, 1, "a")
+	bb = dist.Internal(r, 2, "b")
+	dist.Client(a, 2, 5, "c1") // dist=2 instead of 3
+	dist.Client(a, 1, 7, "c2")
+	dist.Client(bb, 4, 2, "c3")
+	variants["distance"] = &Instance{Tree: dist.MustBuild(), W: 9, DMax: 5}
+
+	for name, v := range variants {
+		if h := v.CanonicalHash(); h == h0 {
+			t.Errorf("%s variant collides with base hash %s", name, h)
+		}
+	}
+}
+
+func TestCanonicalHashIgnoresLabels(t *testing.T) {
+	b := tree.NewBuilder()
+	r := b.Root("renamed-root")
+	a := b.Internal(r, 1, "x")
+	bb := b.Internal(r, 2, "y")
+	b.Client(a, 3, 5, "")
+	b.Client(a, 1, 7, "z")
+	b.Client(bb, 4, 2, "w")
+	relabeled := &Instance{Tree: b.MustBuild(), W: 9, DMax: 5}
+	if got, want := relabeled.CanonicalHash(), inst(t, 9, 5).CanonicalHash(); got != want {
+		t.Fatalf("labels leaked into the hash: %s vs %s", got, want)
+	}
+}
+
+func TestCanonicalHashSurvivesJSONRoundTrip(t *testing.T) {
+	for _, dmax := range []int64{5, NoDistance} {
+		in := inst(t, 9, dmax)
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Instance
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := back.CanonicalHash(), in.CanonicalHash(); got != want {
+			t.Fatalf("dmax=%d: round-trip changed hash: %s vs %s", dmax, got, want)
+		}
+	}
+}
+
+func TestCanonicalHashNilTree(t *testing.T) {
+	a := &Instance{W: 1, DMax: NoDistance}
+	b := &Instance{W: 2, DMax: NoDistance}
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Fatal("nil-tree instances with different W collide")
+	}
+	// Must not panic, must be stable.
+	if a.CanonicalHash() != a.CanonicalHash() {
+		t.Fatal("nil-tree hash unstable")
+	}
+}

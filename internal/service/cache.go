@@ -1,0 +1,130 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"replicatree/internal/core"
+)
+
+// Cache is a size-bounded LRU over solved placements, keyed by
+// (solver name, canonical instance hash). It is the service's hot
+// path: a warm key is served from memory instead of re-solving.
+//
+// Entries are immutable once inserted — Put stores a deep copy of the
+// solution and Get hands out a private clone, so callers can never
+// alias cached state. A capacity of 0 disables caching entirely
+// (every Get misses, every Put is dropped), which keeps the cold path
+// exercisable in benchmarks and lets operators run cache-less.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheKey struct {
+	solver string
+	hash   string
+}
+
+// cacheEntry is the cached outcome of one verified solve.
+type cacheEntry struct {
+	key        cacheKey
+	solution   *core.Solution
+	policy     core.Policy
+	lowerBound int
+}
+
+// NewCache returns an LRU cache bounded to capacity entries.
+func NewCache(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached entry for (solverName, hash) and marks it
+// most recently used. The returned solution is a private clone,
+// taken after releasing the lock — entries are immutable once
+// inserted, so concurrent hits don't serialize behind the O(n) copy.
+func (c *Cache) Get(solverName, hash string) (*core.Solution, core.Policy, int, bool) {
+	c.mu.Lock()
+	el, ok := c.m[cacheKey{solverName, hash}]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, 0, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	return e.solution.Clone(), e.policy, e.lowerBound, true
+}
+
+// Put inserts a verified solve outcome, evicting the least recently
+// used entry when the cache is full. Re-putting an existing key
+// refreshes its entry.
+func (c *Cache) Put(solverName, hash string, sol *core.Solution, pol core.Policy, lowerBound int) {
+	if c.cap == 0 || sol == nil {
+		return
+	}
+	key := cacheKey{solverName, hash}
+	entry := &cacheEntry{key: key, solution: sol.Clone(), policy: pol, lowerBound: lowerBound}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = entry
+		return
+	}
+	c.m[key] = c.ll.PushFront(entry)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats returns the cache counters. HitRate is hits/(hits+misses),
+// 0 before any lookup.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+func testSolution(replica tree.NodeID) *core.Solution {
+	sol := &core.Solution{}
+	sol.AddReplica(replica)
+	sol.Assign(replica, replica, 1)
+	sol.Normalize()
+	return sol
+}
+
+func TestCacheHitMissAndEviction(t *testing.T) {
+	c := NewCache(2)
+	if _, _, _, ok := c.Get("s", "h1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("s", "h1", testSolution(1), core.Single, 1)
+	c.Put("s", "h2", testSolution(2), core.Multiple, 2)
+
+	sol, pol, lb, ok := c.Get("s", "h1")
+	if !ok || pol != core.Single || lb != 1 || sol.NumReplicas() != 1 {
+		t.Fatalf("h1 lookup: ok=%v pol=%v lb=%d sol=%v", ok, pol, lb, sol)
+	}
+
+	// h1 was just used, so inserting h3 must evict h2.
+	c.Put("s", "h3", testSolution(3), core.Single, 3)
+	if _, _, _, ok := c.Get("s", "h2"); ok {
+		t.Error("LRU kept the least recently used entry")
+	}
+	if _, _, _, ok := c.Get("s", "h1"); !ok {
+		t.Error("LRU evicted the most recently used entry")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats %+v, want 2 hits / 2 misses", st)
+	}
+}
+
+func TestCacheSolverNamespaces(t *testing.T) {
+	c := NewCache(8)
+	c.Put("a", "h", testSolution(1), core.Single, 1)
+	if _, _, _, ok := c.Get("b", "h"); ok {
+		t.Fatal("solver names share a cache line")
+	}
+}
+
+func TestCacheClonesEntries(t *testing.T) {
+	c := NewCache(8)
+	orig := testSolution(1)
+	c.Put("s", "h", orig, core.Single, 1)
+	orig.Replicas[0] = 99 // mutating the inserted value must not reach the cache
+
+	got, _, _, ok := c.Get("s", "h")
+	if !ok {
+		t.Fatal("miss")
+	}
+	if got.Replicas[0] != 1 {
+		t.Error("cache aliased the inserted solution")
+	}
+	got.Replicas[0] = 42 // mutating a returned value must not either
+	again, _, _, _ := c.Get("s", "h")
+	if again.Replicas[0] != 1 {
+		t.Error("cache handed out aliased state")
+	}
+}
+
+func TestCacheZeroCapacityDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("s", "h", testSolution(1), core.Single, 1)
+	if _, _, _, ok := c.Get("s", "h"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d, want 0", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("s", "h", testSolution(1), core.Single, 1)
+	c.Put("s", "h", testSolution(2), core.Multiple, 2)
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+	sol, pol, lb, ok := c.Get("s", "h")
+	if !ok || pol != core.Multiple || lb != 2 || sol.Replicas[0] != 2 {
+		t.Fatalf("refresh lost: ok=%v pol=%v lb=%d sol=%v", ok, pol, lb, sol)
+	}
+}
+
+func TestCacheBoundUnderChurn(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 100; i++ {
+		c.Put("s", fmt.Sprintf("h%d", i), testSolution(tree.NodeID(i)), core.Single, 1)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d, want capacity 4", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 96 {
+		t.Errorf("evictions %d, want 96", st.Evictions)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Solve("s", 50*time.Microsecond) // → le_100µs
+	m.Solve("s", 5*time.Millisecond)  // → le_10ms
+	m.Solve("s", 2*time.Second)       // → le_inf
+	snap := m.Snapshot()
+	ls := snap.Solvers["s"]
+	if ls.Count != 3 {
+		t.Fatalf("count %d, want 3", ls.Count)
+	}
+	labels := BucketLabels()
+	wantBuckets := map[string]uint64{labels[0]: 1, labels[2]: 1, labels[len(labels)-1]: 1}
+	for label, want := range wantBuckets {
+		if ls.Buckets[label] != want {
+			t.Errorf("bucket %s = %d, want %d (all: %v)", label, ls.Buckets[label], want, ls.Buckets)
+		}
+	}
+	wantSum := durMS(50*time.Microsecond + 5*time.Millisecond + 2*time.Second)
+	if ls.SumMS != wantSum {
+		t.Errorf("sum %v ms, want %v", ls.SumMS, wantSum)
+	}
+	if ls.MeanMS != wantSum/3 {
+		t.Errorf("mean %v ms, want %v", ls.MeanMS, wantSum/3)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewCache(1024)
+	c.Put("s", "h", testSolution(1), core.Single, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := c.Get("s", "h"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCachePutEvict(b *testing.B) {
+	c := NewCache(64)
+	sol := testSolution(1)
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("h%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put("s", keys[i%len(keys)], sol, core.Single, 1)
+	}
+}
+
+func BenchmarkMetricsSolveRecord(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < b.N; i++ {
+		m.Solve("s", time.Duration(i%2000)*time.Microsecond)
+	}
+}
+
+func TestMetricsStatusClasses(t *testing.T) {
+	m := NewMetrics()
+	m.Request("/x", 200)
+	m.Request("/x", 204)
+	m.Request("/x", 404)
+	m.Request("/x", 500)
+	snap := m.Snapshot()
+	if snap.Requests["/x"] != 4 {
+		t.Errorf("requests %v", snap.Requests)
+	}
+	want := map[string]uint64{"2xx": 2, "4xx": 1, "5xx": 1}
+	for class, n := range want {
+		if snap.Statuses[class] != n {
+			t.Errorf("status class %s = %d, want %d", class, snap.Statuses[class], n)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"replicatree/internal/solver"
+)
+
+// JobManager runs asynchronous batch jobs: POST /v1/batch enqueues a
+// job, a bounded pool of runner goroutines drains the queue through
+// solver.Batch, and GET /v1/jobs/{id} polls the outcome. The queue is
+// bounded too — a full queue rejects the submit (the server turns
+// that into 503) instead of buffering unboundedly.
+type JobManager struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	done   []string // job IDs in completion order, for retention pruning
+	retain int
+	nextID uint64
+	closed bool
+
+	queue  chan *job
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+type job struct {
+	id      string
+	tasks   []solver.Task
+	opt     solver.Options
+	status  string
+	results []TaskResult
+	stats   *JobStats
+}
+
+// cachedReporter lets job results report cache hits; the server's
+// caching solver wrapper implements it.
+type cachedReporter interface {
+	LastCached() bool
+}
+
+// NewJobManager starts workers runner goroutines over a queue of
+// queueCap pending jobs, retaining at most retain finished jobs for
+// polling (oldest finished jobs are pruned first; 0 means a default
+// of 1024).
+func NewJobManager(workers, queueCap, retain int) *JobManager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	if retain <= 0 {
+		retain = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		jobs:   make(map[string]*job),
+		retain: retain,
+		queue:  make(chan *job, queueCap),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Submit enqueues a job over the given tasks and returns its ID. It
+// fails when the queue is full or the manager is closed.
+func (m *JobManager) Submit(tasks []solver.Task, opt solver.Options) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", fmt.Errorf("service: job manager is shut down")
+	}
+	m.nextID++
+	j := &job{id: fmt.Sprintf("job-%06d", m.nextID), tasks: tasks, opt: opt, status: JobQueued}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return "", fmt.Errorf("service: job queue full (%d pending)", cap(m.queue))
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job, or false if the ID is unknown
+// (never submitted, or pruned after retention).
+func (m *JobManager) Get(id string) (JobResponse, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobResponse{}, false
+	}
+	resp := JobResponse{JobID: j.id, Status: j.status, Stats: j.stats}
+	if j.results != nil {
+		resp.Results = append([]TaskResult(nil), j.results...)
+	}
+	return resp, true
+}
+
+// Close stops accepting jobs, cancels the running ones and waits for
+// the runners to exit. Queued-but-unstarted jobs finish in the
+// "done" state with every task skipped.
+func (m *JobManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+func (m *JobManager) runner() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.setStatus(j, JobRunning)
+		results, st := solver.Batch(m.ctx, j.tasks, j.opt)
+		trs := make([]TaskResult, len(results))
+		for i, r := range results {
+			trs[i] = taskResult(r)
+		}
+		m.mu.Lock()
+		j.results = trs
+		j.stats = jobStats(st)
+		j.status = JobDone
+		m.done = append(m.done, j.id)
+		for len(m.done) > m.retain {
+			delete(m.jobs, m.done[0])
+			m.done = m.done[1:]
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *JobManager) setStatus(j *job, status string) {
+	m.mu.Lock()
+	j.status = status
+	m.mu.Unlock()
+}
+
+func taskResult(r solver.Result) TaskResult {
+	tr := TaskResult{ID: r.Task.ID}
+	if r.Task.Solver != nil {
+		tr.Solver = r.Task.Solver.Name()
+		if c, ok := r.Task.Solver.(cachedReporter); ok {
+			tr.Cached = c.LastCached()
+		}
+	}
+	if r.Err != nil {
+		tr.Error = r.Err.Error()
+		return tr
+	}
+	tr.OK = true
+	tr.Solution = r.Solution
+	if r.Solution != nil {
+		tr.Replicas = r.Solution.NumReplicas()
+	}
+	return tr
+}

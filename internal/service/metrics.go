@@ -1,0 +1,161 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates the counters exposed at GET /metrics: request
+// counts per endpoint and status class, cache effectiveness (joined in
+// by the server from Cache.Stats) and a fixed-bucket latency histogram
+// per solver. Everything is monotonic since process start; scrape and
+// diff externally.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64 // endpoint -> count
+	statuses  map[int]uint64    // HTTP status -> count
+	latencies map[string]*histogram
+}
+
+// latencyBuckets are the histogram upper bounds for per-solver solve
+// latency. The last implicit bucket is +Inf.
+var latencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; last = +Inf
+	total  uint64
+	sum    time.Duration
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  make(map[string]uint64),
+		statuses:  make(map[int]uint64),
+		latencies: make(map[string]*histogram),
+	}
+}
+
+// Request records one handled request for endpoint with the final
+// HTTP status.
+func (m *Metrics) Request(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	m.statuses[status]++
+}
+
+// Solve records the latency of one actual (non-cached) solve by the
+// named solver.
+func (m *Metrics) Solve(solverName string, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latencies[solverName]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+		m.latencies[solverName] = h
+	}
+	i := 0
+	for i < len(latencyBuckets) && elapsed > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += elapsed
+}
+
+// LatencySnapshot is the exported histogram of one solver.
+type LatencySnapshot struct {
+	Count int64 `json:"count"`
+	// Buckets maps a human-readable upper bound ("le_1ms", …,
+	// "le_inf") to the number of solves within it (non-cumulative).
+	Buckets map[string]uint64 `json:"buckets"`
+	SumMS   float64           `json:"sum_ms"`
+	MeanMS  float64           `json:"mean_ms"`
+}
+
+// MetricsSnapshot is the body of GET /metrics, minus the cache block
+// the server attaches.
+type MetricsSnapshot struct {
+	Requests map[string]uint64          `json:"requests"`
+	Statuses map[string]uint64          `json:"statuses"`
+	Solvers  map[string]LatencySnapshot `json:"solvers"`
+}
+
+var bucketLabels = func() []string {
+	labels := make([]string, 0, len(latencyBuckets)+1)
+	for _, ub := range latencyBuckets {
+		labels = append(labels, "le_"+ub.String())
+	}
+	return append(labels, "le_inf")
+}()
+
+// BucketLabels returns the histogram bucket labels in ascending
+// order, for consumers that want a stable rendering.
+func BucketLabels() []string {
+	out := make([]string, len(bucketLabels))
+	copy(out, bucketLabels)
+	return out
+}
+
+// Snapshot exports all counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		Requests: make(map[string]uint64, len(m.requests)),
+		Statuses: make(map[string]uint64, len(m.statuses)),
+		Solvers:  make(map[string]LatencySnapshot, len(m.latencies)),
+	}
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range m.statuses {
+		snap.Statuses[statusClassLabel(k)] += v
+	}
+	names := make([]string, 0, len(m.latencies))
+	for name := range m.latencies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := m.latencies[name]
+		ls := LatencySnapshot{
+			Count:   int64(h.total),
+			Buckets: make(map[string]uint64, len(h.counts)),
+			SumMS:   durMS(h.sum),
+		}
+		for i, c := range h.counts {
+			ls.Buckets[bucketLabels[i]] = c
+		}
+		if h.total > 0 {
+			ls.MeanMS = ls.SumMS / float64(h.total)
+		}
+		snap.Solvers[name] = ls
+	}
+	return snap
+}
+
+func statusClassLabel(status int) string {
+	switch {
+	case status == 499:
+		// nginx convention: client closed the request mid-solve.
+		// Bucketed apart so aborts don't read as malformed requests.
+		return "cancelled"
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status >= 300 && status < 400:
+		return "3xx"
+	case status >= 400 && status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

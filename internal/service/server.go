@@ -1,0 +1,351 @@
+// Package service exposes the solver registry as an HTTP/JSON daemon:
+// placement-as-a-service. Endpoints:
+//
+//	POST /v1/solve    — solve one instance with a named solver
+//	POST /v1/batch    — enqueue an async job over many (solver, instance) pairs
+//	GET  /v1/jobs/{id} — poll a batch job
+//	GET  /v1/solvers  — the registry contents
+//	GET  /healthz     — liveness
+//	GET  /metrics     — request counts, cache hit rate, per-solver latency
+//
+// The hot path is the result cache: instances are keyed by their
+// canonical hash (core.Instance.CanonicalHash) so a repeated placement
+// of the same tree is served from an LRU in memory instead of
+// re-solved. Every solution — cached or fresh — has passed
+// core.Verify before it leaves the process.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheSize bounds the result cache in entries; 0 disables caching.
+	CacheSize int
+	// JobWorkers bounds the number of concurrently running batch jobs
+	// (default 1); JobQueue bounds the number of queued jobs (default
+	// 64); JobRetention bounds retained finished jobs (default 1024).
+	JobWorkers   int
+	JobQueue     int
+	JobRetention int
+}
+
+// DefaultCacheSize is the cache bound used by cmd/replicad unless
+// overridden.
+const DefaultCacheSize = 1024
+
+// Server is the placement service. Create one with New, mount it as
+// an http.Handler, and Close it on shutdown.
+type Server struct {
+	cache   *Cache
+	metrics *Metrics
+	jobs    *JobManager
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New assembles a Server.
+func New(opt Options) *Server {
+	s := &Server{
+		cache:   NewCache(opt.CacheSize),
+		metrics: NewMetrics(),
+		jobs:    NewJobManager(opt.JobWorkers, opt.JobQueue, opt.JobRetention),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts the job pool down; in-flight jobs are cancelled.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// CacheStats exposes the cache counters (also part of /metrics).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// errVerification marks a solver that returned an infeasible
+// solution — an internal invariant violation, reported as 500 rather
+// than blamed on the request.
+var errVerification = errors.New("solution failed verification")
+
+// maxBodyBytes caps request bodies: a long-running daemon must not
+// let one client balloon its memory with an unbounded JSON stream.
+// 64 MiB comfortably fits multi-million-node instances.
+const maxBodyBytes = 64 << 20
+
+// maxBatchTasks caps one job's task list: results are retained for
+// polling, so an unbounded batch would pin unbounded memory.
+const maxBatchTasks = 4096
+
+// statusClientClosed is nginx's conventional code for "client closed
+// request"; /metrics buckets it separately so aborted solves do not
+// masquerade as malformed requests.
+const statusClientClosed = 499
+
+// solveErrorStatus classifies a failed solve: infeasible output →
+// 500 (checked first — a verification failure must surface as 5xx
+// even when the client has since disconnected), client gone → 499,
+// anything else (NoD-gating, budget, infeasible instance) → 422.
+func solveErrorStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, errVerification):
+		return http.StatusInternalServerError
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil:
+		return statusClientClosed
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// decodeBody decodes a JSON request body into v under the size cap,
+// returning the HTTP status to use on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("invalid request: %w", err)
+	}
+	return http.StatusOK, nil
+}
+
+// solveOutcome is the result of one cached-or-fresh solve.
+type solveOutcome struct {
+	solution   *core.Solution
+	policy     core.Policy
+	lowerBound int
+	hash       string
+	cached     bool
+}
+
+// solveCached is the shared solve path of /v1/solve and batch tasks:
+// canonical hash, cache lookup, solve on miss, verify, fill.
+func (s *Server) solveCached(ctx context.Context, sv solver.Solver, in *core.Instance) (solveOutcome, error) {
+	out := solveOutcome{hash: in.CanonicalHash()}
+	if sol, pol, lb, ok := s.cache.Get(sv.Name(), out.hash); ok {
+		out.solution, out.policy, out.lowerBound, out.cached = sol, pol, lb, true
+		return out, nil
+	}
+	begin := time.Now()
+	sol, err := sv.Solve(ctx, in)
+	if err != nil {
+		return out, err
+	}
+	s.metrics.Solve(sv.Name(), time.Since(begin))
+	pol := solver.PolicyOf(sv)
+	if err := core.Verify(in, pol, sol); err != nil {
+		return out, fmt.Errorf("%w: solver %s: %v", errVerification, sv.Name(), err)
+	}
+	lb := core.LowerBound(in)
+	s.cache.Put(sv.Name(), out.hash, sol, pol, lb)
+	out.solution, out.policy, out.lowerBound = sol, pol, lb
+	return out, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/solve"
+	begin := time.Now()
+	var req SolveRequest
+	if status, err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, endpoint, status, err)
+		return
+	}
+	if req.Instance == nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, errors.New("missing instance"))
+		return
+	}
+	if req.Solver == "" {
+		s.writeError(w, endpoint, http.StatusBadRequest, errors.New("missing solver name (see GET /v1/solvers)"))
+		return
+	}
+	sv, err := solver.Get(req.Solver)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusNotFound, err)
+		return
+	}
+	out, err := s.solveCached(r.Context(), sv, req.Instance)
+	if err != nil {
+		s.writeError(w, endpoint, solveErrorStatus(r, err), err)
+		return
+	}
+	resp := SolveResponse{
+		Solver:     sv.Name(),
+		Policy:     out.policy.String(),
+		Hash:       out.hash,
+		Replicas:   out.solution.NumReplicas(),
+		LowerBound: out.lowerBound,
+		Verified:   true,
+		Cached:     out.cached,
+		ElapsedMS:  durMS(time.Since(begin)),
+		Solution:   out.solution,
+	}
+	if out.lowerBound > 0 {
+		resp.Gap = float64(resp.Replicas-out.lowerBound) / float64(out.lowerBound)
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/batch"
+	var req BatchRequest
+	if status, err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, endpoint, status, err)
+		return
+	}
+	if len(req.Tasks) == 0 {
+		s.writeError(w, endpoint, http.StatusBadRequest, errors.New("empty task list"))
+		return
+	}
+	if len(req.Tasks) > maxBatchTasks {
+		s.writeError(w, endpoint, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d tasks exceeds the limit of %d (split into multiple jobs)", len(req.Tasks), maxBatchTasks))
+		return
+	}
+	if req.Workers < 0 {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("negative workers %d", req.Workers))
+		return
+	}
+	// Workers is client-controlled; clamp it so one job can never
+	// spawn more solve goroutines than the machine has cores
+	// (solver.Batch treats 0 as GOMAXPROCS already).
+	workers := req.Workers
+	if cores := runtime.GOMAXPROCS(0); workers > cores {
+		workers = cores
+	}
+	tasks := make([]solver.Task, len(req.Tasks))
+	for i, bt := range req.Tasks {
+		if bt.Instance == nil {
+			s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("task %d: missing instance", i))
+			return
+		}
+		sv, err := solver.Get(bt.Solver)
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("task %d: %w", i, err))
+			return
+		}
+		tasks[i] = solver.Task{
+			ID:       bt.ID,
+			Solver:   &cachingSolver{server: s, inner: sv},
+			Instance: bt.Instance,
+		}
+	}
+	opt := solver.Options{Workers: workers, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
+	id, err := s.jobs.Submit(tasks, opt)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusAccepted, BatchAccepted{
+		JobID:     id,
+		StatusURL: "/v1/jobs/" + id,
+		Tasks:     len(tasks),
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/jobs"
+	id := r.PathValue("id")
+	resp, ok := s.jobs.Get(id)
+	if !ok {
+		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	solvers := solver.Solvers()
+	infos := make([]SolverInfo, len(solvers))
+	for i, sv := range solvers {
+		infos[i] = SolverInfo{
+			Name:   sv.Name(),
+			Policy: solver.PolicyOf(sv).String(),
+			Exact:  solver.IsExact(sv),
+		}
+	}
+	s.writeJSON(w, "/v1/solvers", http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "/healthz", http.StatusOK, map[string]any{
+		"status":    "ok",
+		"solvers":   len(solver.List()),
+		"uptime_ms": durMS(time.Since(s.started)),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := struct {
+		MetricsSnapshot
+		Cache CacheStats `json:"cache"`
+	}{s.metrics.Snapshot(), s.cache.Stats()}
+	s.writeJSON(w, "/metrics", http.StatusOK, snap)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any) {
+	s.metrics.Request(endpoint, status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to salvage
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.writeJSON(w, endpoint, status, ErrorResponse{Error: err.Error()})
+}
+
+// cachingSolver routes a batch task's Solve through the server's
+// cache + verify path and remembers whether it hit, so job results
+// can report per-task cache effectiveness. The flag is atomic: a
+// timed-out batch task's solve goroutine is abandoned by
+// solver.Batch and may still be writing it when the job runner
+// collects results.
+type cachingSolver struct {
+	server *Server
+	inner  solver.Solver
+	cached atomic.Bool
+}
+
+func (c *cachingSolver) Name() string { return c.inner.Name() }
+
+// Policy and Exact forward the inner solver's metadata.
+func (c *cachingSolver) Policy() core.Policy { return solver.PolicyOf(c.inner) }
+func (c *cachingSolver) Exact() bool         { return solver.IsExact(c.inner) }
+
+func (c *cachingSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	out, err := c.server.solveCached(ctx, c.inner, in)
+	if err != nil {
+		return nil, err
+	}
+	c.cached.Store(out.cached)
+	return out.solution, nil
+}
+
+// LastCached implements cachedReporter.
+func (c *cachingSolver) LastCached() bool { return c.cached.Load() }

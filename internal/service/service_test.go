@@ -1,0 +1,485 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+)
+
+// goldenInstance loads one instance of the checked-in corpus.
+func goldenInstance(t testing.TB, name string) *core.Instance {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in core.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	return &in
+}
+
+// goldenReplicas reads the manifest's replica count for (instance,
+// solver), the repository's golden regression currency.
+func goldenReplicas(t testing.TB, instance, solverName string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest map[string]map[string]int
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := manifest[instance][solverName]
+	if !ok {
+		t.Fatalf("manifest has no entry for %s/%s", instance, solverName)
+	}
+	return n
+}
+
+func newTestServer(t testing.TB, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opt)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t testing.TB, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSolveRoundTripGolden(t *testing.T) {
+	const instance, solverName = "binary_nod_1.json", "multiple-best"
+	in := goldenInstance(t, instance)
+	_, ts := newTestServer(t, Options{CacheSize: 8})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Solver: solverName, Instance: in})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Verified {
+		t.Error("response not marked verified")
+	}
+	if sr.Cached {
+		t.Error("first solve reported as cached")
+	}
+	if sr.Hash != in.CanonicalHash() {
+		t.Errorf("hash mismatch: %s vs %s", sr.Hash, in.CanonicalHash())
+	}
+	if want := goldenReplicas(t, instance, solverName); sr.Replicas != want {
+		t.Errorf("replicas %d, manifest says %d", sr.Replicas, want)
+	}
+	if sr.Replicas != sr.Solution.NumReplicas() {
+		t.Errorf("replica count %d disagrees with solution %d", sr.Replicas, sr.Solution.NumReplicas())
+	}
+	// The wire solution must re-verify locally against the instance.
+	if err := core.Verify(in, core.Multiple, sr.Solution); err != nil {
+		t.Errorf("returned solution does not verify: %v", err)
+	}
+	if sr.LowerBound <= 0 || sr.Replicas < sr.LowerBound {
+		t.Errorf("implausible lower bound %d for %d replicas", sr.LowerBound, sr.Replicas)
+	}
+	if want := float64(sr.Replicas-sr.LowerBound) / float64(sr.LowerBound); sr.Gap != want {
+		t.Errorf("gap %v, want %v", sr.Gap, want)
+	}
+}
+
+func TestSolveCacheAccounting(t *testing.T) {
+	in := goldenInstance(t, "binary_dist_1.json")
+	srv, ts := newTestServer(t, Options{CacheSize: 8})
+	req := SolveRequest{Solver: "multiple-greedy", Instance: in}
+
+	var first, second SolveResponse
+	_, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/solve", req)
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+	if first.Replicas != second.Replicas || first.Hash != second.Hash {
+		t.Errorf("cached response diverged: %+v vs %+v", first, second)
+	}
+	if second.LowerBound != first.LowerBound || second.Gap != first.Gap {
+		t.Errorf("cached bound diverged: lb %d/%d gap %v/%v",
+			first.LowerBound, second.LowerBound, first.Gap, second.Gap)
+	}
+	st := srv.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("cache stats %+v, want 1 hit / 1 miss / size 1", st)
+	}
+
+	// A different solver on the same instance is a distinct cache line.
+	_, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Solver: "single-gen", Instance: in})
+	var third SolveResponse
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Error("different solver unexpectedly hit the cache")
+	}
+	if got := srv.CacheStats(); got.Size != 2 || got.Misses != 2 {
+		t.Errorf("cache stats after second solver: %+v", got)
+	}
+}
+
+func TestSolveMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := map[string]string{
+		"not json":         "{",
+		"missing instance": `{"solver":"single-gen"}`,
+		"missing solver":   `{"instance":{"tree":{"root":0,"nodes":[{"id":0,"parent":-1,"dist":0},{"id":1,"parent":0,"dist":1,"requests":1}]},"w":1}}`,
+		// Structurally invalid: a root with no children fails
+		// tree.Validate inside UnmarshalJSON.
+		"invalid tree": `{"solver":"single-gen","instance":{"tree":{"root":0,"nodes":[{"id":0,"parent":-1,"dist":0}]},"w":1}}`,
+		// Semantically invalid: W must be positive.
+		"invalid capacity": `{"solver":"single-gen","instance":{"tree":{"root":0,"nodes":[{"id":0,"parent":-1,"dist":0},{"id":1,"parent":0,"dist":1,"requests":1}]},"w":0}}`,
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s: non-JSON error body: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (error %q)", name, resp.StatusCode, er.Error)
+		}
+		if er.Error == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+}
+
+func TestSolveUnknownSolverListsRegistry(t *testing.T) {
+	in := goldenInstance(t, "binary_nod_1.json")
+	_, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Solver: "no-such-solver", Instance: in})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range solver.List() {
+		if !strings.Contains(er.Error, name) {
+			t.Errorf("404 body does not list registered solver %q: %s", name, er.Error)
+		}
+	}
+}
+
+// TestSolveNoDGatedSolver: dispatching a NoD-only solver on a
+// distance-constrained instance is a solver-level error → 422.
+func TestSolveNoDGatedSolver(t *testing.T) {
+	in := goldenInstance(t, "binary_dist_1.json")
+	_, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Solver: "single-nod", Instance: in})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422; body %s", resp.StatusCode, body)
+	}
+}
+
+func TestSolversParityWithRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var infos []SolverInfo
+	if resp := getJSON(t, ts.URL+"/v1/solvers", &infos); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+		sv := solver.MustGet(info.Name)
+		if got := solver.PolicyOf(sv).String(); info.Policy != got {
+			t.Errorf("%s: policy %q, registry says %q", info.Name, info.Policy, got)
+		}
+		if got := solver.IsExact(sv); info.Exact != got {
+			t.Errorf("%s: exact %v, registry says %v", info.Name, info.Exact, got)
+		}
+	}
+	if want := solver.List(); !reflect.DeepEqual(names, want) {
+		t.Errorf("solver names %v, registry lists %v", names, want)
+	}
+}
+
+func waitForJob(t testing.TB, url string) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var jr JobResponse
+		if resp := getJSON(t, url, &jr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("job poll status %d", resp.StatusCode)
+		}
+		if jr.Status == JobDone {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in status %q", jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBatchJobLifecycle(t *testing.T) {
+	in1 := goldenInstance(t, "binary_nod_1.json")
+	in2 := goldenInstance(t, "binary_dist_2.json")
+	srv, ts := newTestServer(t, Options{CacheSize: 8, JobWorkers: 2})
+
+	// Workers: 1 makes in-job dispatch sequential, so the repeat of
+	// task "a" deterministically finds its result already cached.
+	req := BatchRequest{Workers: 1, Tasks: []BatchTask{
+		{ID: "a", Solver: "multiple-best", Instance: in1},
+		{ID: "b", Solver: "multiple-best", Instance: in2},
+		{ID: "a-again", Solver: "multiple-best", Instance: in1},
+		{ID: "bad", Solver: "single-nod", Instance: in2}, // NoD-gated → fails
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var acc BatchAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Tasks != 4 || acc.JobID == "" {
+		t.Fatalf("unexpected accept body %+v", acc)
+	}
+
+	jr := waitForJob(t, ts.URL+acc.StatusURL)
+	if len(jr.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(jr.Results))
+	}
+	byID := make(map[string]TaskResult, len(jr.Results))
+	for _, r := range jr.Results {
+		byID[r.ID] = r
+	}
+	for _, id := range []string{"a", "b", "a-again"} {
+		r := byID[id]
+		if !r.OK || r.Solution == nil {
+			t.Errorf("task %s failed: %+v", id, r)
+		}
+	}
+	if want := goldenReplicas(t, "binary_nod_1.json", "multiple-best"); byID["a"].Replicas != want {
+		t.Errorf("task a: %d replicas, manifest says %d", byID["a"].Replicas, want)
+	}
+	if byID["bad"].OK || byID["bad"].Error == "" {
+		t.Errorf("NoD-gated task did not fail: %+v", byID["bad"])
+	}
+	// Tasks dispatch in order, so the duplicate of "a" is a cache hit.
+	if !byID["a-again"].Cached {
+		t.Errorf("repeated task not served from cache: %+v", byID["a-again"])
+	}
+	if byID["a-again"].Replicas != byID["a"].Replicas {
+		t.Errorf("cache changed the answer: %d vs %d", byID["a-again"].Replicas, byID["a"].Replicas)
+	}
+	if jr.Stats == nil || jr.Stats.Solved != 3 || jr.Stats.Failed != 1 {
+		t.Errorf("job stats %+v, want 3 solved / 1 failed", jr.Stats)
+	}
+	if st := srv.CacheStats(); st.Hits < 1 {
+		t.Errorf("batch cache never hit: %+v", st)
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	in := goldenInstance(t, "binary_nod_1.json")
+	srv, ts := newTestServer(t, Options{})
+	if resp, _ := postJSON(t, ts.URL+"/v1/batch", BatchRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Tasks: []BatchTask{
+		{Solver: "nope", Instance: in},
+	}}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown batch solver: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Workers: -1, Tasks: []BatchTask{
+		{Solver: "multiple-best", Instance: in},
+	}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative workers: status %d, want 400", resp.StatusCode)
+	}
+	oversized := BatchRequest{Tasks: make([]BatchTask, maxBatchTasks+1)}
+	for i := range oversized.Tasks {
+		oversized.Tasks[i] = BatchTask{Solver: "multiple-best", Instance: in}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/batch", oversized); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// A closed job pool refuses new work with 503.
+	srv.jobs.Close()
+	if resp, _ := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Tasks: []BatchTask{
+		{Solver: "multiple-best", Instance: in},
+	}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("closed pool: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	in := goldenInstance(t, "binary_nod_1.json")
+	_, ts := newTestServer(t, Options{CacheSize: 8})
+
+	var health map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz body %v", health)
+	}
+	if int(health["solvers"].(float64)) != len(solver.List()) {
+		t.Errorf("healthz solver count %v, want %d", health["solvers"], len(solver.List()))
+	}
+
+	// Two solves (one warm) and a 404, then check the counters.
+	req := SolveRequest{Solver: "multiple-best", Instance: in}
+	postJSON(t, ts.URL+"/v1/solve", req)
+	postJSON(t, ts.URL+"/v1/solve", req)
+	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Solver: "nope", Instance: in})
+
+	var metrics struct {
+		MetricsSnapshot
+		Cache CacheStats `json:"cache"`
+	}
+	if resp := getJSON(t, ts.URL+"/metrics", &metrics); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if got := metrics.Requests["/v1/solve"]; got != 3 {
+		t.Errorf("solve request count %d, want 3", got)
+	}
+	if got := metrics.Statuses["4xx"]; got != 1 {
+		t.Errorf("4xx count %d, want 1", got)
+	}
+	if metrics.Cache.Hits != 1 || metrics.Cache.Misses != 1 {
+		t.Errorf("metrics cache block %+v, want 1 hit / 1 miss", metrics.Cache)
+	}
+	if metrics.Cache.HitRate != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", metrics.Cache.HitRate)
+	}
+	// The cold solve must appear in the per-solver histogram; the warm
+	// one must not.
+	ls, ok := metrics.Solvers["multiple-best"]
+	if !ok || ls.Count != 1 {
+		t.Errorf("latency histogram %+v, want exactly 1 recorded solve", ls)
+	}
+	var inBuckets uint64
+	for _, c := range ls.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != 1 {
+		t.Errorf("histogram buckets sum to %d, want 1: %v", inBuckets, ls.Buckets)
+	}
+}
+
+// TestConcurrentSolves hammers one instance from many goroutines to
+// exercise the cache under the race detector.
+func TestConcurrentSolves(t *testing.T) {
+	in := goldenInstance(t, "wide_nod.json")
+	srv, ts := newTestServer(t, Options{CacheSize: 4})
+	req := SolveRequest{Solver: "multiple-greedy", Instance: in}
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := func() (*http.Response, []byte) {
+				data, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(data))
+				if err != nil {
+					errs <- err
+					return nil, nil
+				}
+				defer resp.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				return resp, buf.Bytes()
+			}()
+			if resp == nil {
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.CacheStats()
+	if st.Hits+st.Misses != n {
+		t.Errorf("lookup count %d, want %d", st.Hits+st.Misses, n)
+	}
+	// After the storm settles the entry is resident: one more request
+	// must be a deterministic hit.
+	_, body := postJSON(t, ts.URL+"/v1/solve", req)
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached {
+		t.Error("follow-up request after concurrent load not served from cache")
+	}
+}
