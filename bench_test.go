@@ -437,7 +437,7 @@ func solverBatchTasks() []solver.Task {
 			Internals: 60, MaxArity: 3, MaxDist: 3, MaxReq: 12, ExtraClients: 30,
 		}, false)
 		for _, name := range names {
-			tasks = append(tasks, solver.Task{Solver: solver.MustGet(name), Instance: in})
+			tasks = append(tasks, solver.Task{Engine: solver.MustLookup(name), Request: solver.Request{Instance: in}})
 		}
 	}
 	return tasks
@@ -483,33 +483,36 @@ func serviceSolveBody(b *testing.B) []byte {
 	return body
 }
 
-func benchServiceSolve(b *testing.B, cacheSize int) {
+func benchServiceSolve(b *testing.B, path string, cacheSize int) {
 	srv := service.New(service.Options{CacheSize: cacheSize})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	body := serviceSolveBody(b)
 
-	post := func() service.SolveResponse {
-		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	post := func() bool {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var sr service.SolveResponse
+		// Both versions' solve responses carry the "cached" flag.
+		var sr struct {
+			Cached bool `json:"cached"`
+		}
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 			b.Fatal(err)
 		}
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
-		return sr
+		return sr.Cached
 	}
 	warmed := post() // populate the cache (no-op when disabled)
-	if wantCached := cacheSize > 0; warmed.Cached {
+	if wantCached := cacheSize > 0; warmed {
 		b.Fatal("first request reported cached")
-	} else if sr := post(); sr.Cached != wantCached {
-		b.Fatalf("cache state: got cached=%v, want %v", sr.Cached, wantCached)
+	} else if cached := post(); cached != wantCached {
+		b.Fatalf("cache state: got cached=%v, want %v", cached, wantCached)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -517,8 +520,17 @@ func benchServiceSolve(b *testing.B, cacheSize int) {
 	}
 }
 
-func BenchmarkServiceSolveCold(b *testing.B) { benchServiceSolve(b, 0) }
-func BenchmarkServiceSolveWarm(b *testing.B) { benchServiceSolve(b, service.DefaultCacheSize) }
+func BenchmarkServiceSolveCold(b *testing.B) { benchServiceSolve(b, "/v1/solve", 0) }
+func BenchmarkServiceSolveWarm(b *testing.B) {
+	benchServiceSolve(b, "/v1/solve", service.DefaultCacheSize)
+}
+
+// The /v2 series share the engine path and cache with /v1; parity
+// between the two warm series is the adapter's no-overhead claim.
+func BenchmarkServiceSolveV2Cold(b *testing.B) { benchServiceSolve(b, "/v2/solve", 0) }
+func BenchmarkServiceSolveV2Warm(b *testing.B) {
+	benchServiceSolve(b, "/v2/solve", service.DefaultCacheSize)
+}
 
 func BenchmarkCanonicalHash(b *testing.B) {
 	in := scalingInstance(1600, 2)
@@ -530,10 +542,64 @@ func BenchmarkCanonicalHash(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverRegistryGet pins the deprecated v1 dispatch shim,
+// which must not regress while it exists.
 func BenchmarkSolverRegistryGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		//lint:ignore SA1019 the benchmark exists to pin the deprecated shim's cost
 		if _, err := solver.Get(solver.MultipleBest); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverRegistryLookup is the v2 dispatch path: name →
+// engine. It must stay on par with the v1 Get shim (both are one
+// RLock'd map read).
+func BenchmarkSolverRegistryLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Lookup(solver.MultipleBest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverEngineSolve measures the per-solve overhead of the
+// v2 engine wrapper (request normalization + report assembly) around
+// a cheap polynomial solve.
+func BenchmarkSolverEngineSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 60, MaxArity: 3, MaxDist: 3, MaxReq: 12, ExtraClients: 30,
+	}, false)
+	eng := solver.MustLookup(solver.MultipleGreedy)
+	req := solver.Request{Instance: in}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoPortfolio runs the capability-driven portfolio on a
+// mid-size distance-constrained instance (exact candidates excluded
+// by the size gate): the price of "best of every heuristic".
+func BenchmarkAutoPortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 120, MaxArity: 3, MaxDist: 3, MaxReq: 12, ExtraClients: 60,
+	}, true)
+	eng := solver.MustLookup(solver.Auto)
+	req := solver.Request{Instance: in}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Solution == nil {
+			b.Fatal("empty report")
 		}
 	}
 }

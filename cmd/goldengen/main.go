@@ -89,8 +89,8 @@ func run(dir string, check bool) error {
 
 // Generate renders the whole corpus as file name -> contents: every
 // gen.Corpus() instance plus manifest.json. The manifest iterates
-// solver.List(), so a newly registered deterministic solver is golden
-// from its first regeneration onward.
+// solver.Engines(), so a newly registered deterministic engine is
+// golden from its first regeneration onward.
 func Generate() (map[string][]byte, error) {
 	ctx := context.Background()
 	files := make(map[string][]byte)
@@ -103,15 +103,18 @@ func Generate() (map[string][]byte, error) {
 		files[entry.Name] = append(data, '\n')
 
 		rec := map[string]int{"lower-bound": core.LowerBound(entry.Instance)}
-		for _, s := range solver.Solvers() {
-			sol, err := s.Solve(ctx, entry.Instance)
+		for _, eng := range solver.Engines() {
+			rep, err := eng.Solve(ctx, solver.Request{Instance: entry.Instance})
 			if err != nil {
-				continue // solver does not apply (NoD-gated, infeasible, budget)
+				continue // engine does not apply (NoD-gated, infeasible, budget)
 			}
-			if err := core.Verify(entry.Instance, solver.PolicyOf(s), sol); err != nil {
-				return nil, fmt.Errorf("%s: %s produced an infeasible solution: %v", entry.Name, s.Name(), err)
+			// Verify under the report's policy — the policy the engine
+			// claims for this very solution (the portfolio may return a
+			// stricter one than its declared capability).
+			if err := core.Verify(entry.Instance, rep.Policy, rep.Solution); err != nil {
+				return nil, fmt.Errorf("%s: %s produced an infeasible solution: %v", entry.Name, eng.Name(), err)
 			}
-			rec[s.Name()] = sol.NumReplicas()
+			rec[eng.Name()] = rep.Solution.NumReplicas()
 		}
 		manifest[entry.Name] = rec
 	}

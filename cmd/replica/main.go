@@ -1,17 +1,19 @@
 // Command replica solves a replica placement instance read from a
 // JSON file (or stdin) and prints the resulting placement. Algorithms
-// are dispatched through the solver registry: any registered solver
-// can be selected by name.
+// are dispatched through the solver registry: any registered engine
+// can be selected by name, including the "auto" portfolio that races
+// every capable engine and returns the best placement.
 //
 // Usage:
 //
 //	replica -solver list
 //	replica -solver single-gen  -in instance.json
+//	replica -solver auto -in instance.json
 //	replica -solver multiple-bin -in instance.json -format json
 //	treegen -kind binary -internals 10 | replica -solver exact-multiple
 //
 // See README.md for the solver catalogue; -solver list prints the
-// registered set with policies.
+// registered set with capabilities.
 package main
 
 import (
@@ -54,16 +56,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		*name = solver.SingleGen
 	}
 	if *name == "list" {
-		for _, s := range solver.Solvers() {
+		for _, c := range solver.Catalog() {
 			kind := "heuristic"
-			if solver.IsExact(s) {
+			if c.Exact {
 				kind = "exact"
 			}
-			fmt.Fprintf(stdout, "%-16s %-8s %s\n", s.Name(), solver.PolicyOf(s), kind)
+			fmt.Fprintf(stdout, "%-16s %-8s %s\n", c.Name, c.Policy, kind)
 		}
 		return nil
 	}
-	s, err := solver.Get(*name)
+	eng, err := solver.Lookup(*name)
 	if err != nil {
 		return err
 	}
@@ -82,12 +84,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	ctx := solver.WithBudget(context.Background(), *budget)
-	sol, err := s.Solve(ctx, &in)
+	rep, err := eng.Solve(context.Background(), solver.Request{Instance: &in, Budget: *budget})
 	if err != nil {
 		return err
 	}
-	pol := solver.PolicyOf(s)
+	sol, pol := rep.Solution, rep.Policy
 	if *pushup {
 		if pol != core.Single {
 			return fmt.Errorf("-pushup applies to Single-policy solvers only")

@@ -6,8 +6,9 @@
 //
 //	replicad -addr :8080 -cache 1024 -job-workers 2
 //
-// Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
-// GET /v1/solvers, GET /healthz, GET /metrics. The daemon shuts down
+// Endpoints: POST /v2/solve, POST /v2/batch, GET /v2/jobs/{id},
+// GET /v2/solvers (full capability documents), their deprecated /v1
+// counterparts, GET /healthz and GET /metrics. The daemon shuts down
 // gracefully on SIGINT/SIGTERM.
 package main
 

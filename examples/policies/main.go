@@ -21,11 +21,11 @@ import (
 )
 
 func solve(name string, in *core.Instance) *core.Solution {
-	sol, err := solver.MustGet(name).Solve(context.Background(), in)
+	rep, err := solver.MustLookup(name).Solve(context.Background(), solver.Request{Instance: in})
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
-	return sol
+	return rep.Solution
 }
 
 func main() {

@@ -46,32 +46,40 @@ func TestGoldenCorpus(t *testing.T) {
 		if got := core.LowerBound(&in); got != want["lower-bound"] {
 			t.Errorf("%s: LowerBound = %d, golden %d", file, got, want["lower-bound"])
 		}
-		// Every solver the registry knows is golden; a manifest key
-		// with no registered solver means one was renamed or dropped
+		// Every engine the registry knows is golden; a manifest key
+		// with no registered engine means one was renamed or dropped
 		// without regenerating the corpus.
 		for name := range want {
 			if name == "lower-bound" {
 				continue
 			}
-			if _, err := solver.Get(name); err != nil {
+			if _, err := solver.Lookup(name); err != nil {
 				t.Errorf("%s: manifest records unknown solver %q", file, name)
 			}
 		}
-		for _, s := range solver.Solvers() {
-			wantN, ok := want[s.Name()]
+		for _, eng := range solver.Engines() {
+			wantN, ok := want[eng.Name()]
 			if !ok {
-				continue // solver does not apply to this instance
+				continue // engine does not apply to this instance
 			}
-			sol, err := s.Solve(ctx, &in)
+			rep, err := eng.Solve(ctx, solver.Request{Instance: &in})
 			if err != nil {
-				t.Errorf("%s %s: %v", file, s.Name(), err)
+				t.Errorf("%s %s: %v", file, eng.Name(), err)
 				continue
 			}
-			if sol.NumReplicas() != wantN {
-				t.Errorf("%s: %s = %d, golden %d", file, s.Name(), sol.NumReplicas(), wantN)
+			if rep.Solution.NumReplicas() != wantN {
+				t.Errorf("%s: %s = %d, golden %d", file, eng.Name(), rep.Solution.NumReplicas(), wantN)
 			}
-			if err := core.Verify(&in, solver.PolicyOf(s), sol); err != nil {
-				t.Errorf("%s: %s solution infeasible: %v", file, s.Name(), err)
+			if err := core.Verify(&in, rep.Policy, rep.Solution); err != nil {
+				t.Errorf("%s: %s solution infeasible: %v", file, eng.Name(), err)
+			}
+			// The uniform report block must be internally consistent
+			// with the recorded bound.
+			if rep.LowerBound != want["lower-bound"] {
+				t.Errorf("%s: %s reported lower bound %d, golden %d", file, eng.Name(), rep.LowerBound, want["lower-bound"])
+			}
+			if rep.Proved && rep.Solution.NumReplicas() < rep.LowerBound {
+				t.Errorf("%s: %s proved a solution below the lower bound", file, eng.Name())
 			}
 		}
 	}
@@ -104,9 +112,13 @@ func TestGoldenCorpusSanity(t *testing.T) {
 			t.Fatalf("%s: %v", f, err)
 		}
 		instances++
-		optM, err := solver.MustGet(solver.ExactMultiple).Solve(ctx, &in)
+		optRep, err := solver.MustLookup(solver.ExactMultiple).Solve(ctx, solver.Request{Instance: &in})
 		if err != nil {
 			t.Fatalf("%s: exact-multiple: %v", f, err)
+		}
+		optM := optRep.Solution
+		if !optRep.Proved {
+			t.Errorf("%s: exact-multiple did not mark its optimum proved", f)
 		}
 		if optM.NumReplicas() < core.LowerBound(&in) {
 			t.Errorf("%s: Multiple optimum below the combinatorial lower bound", f)
@@ -117,21 +129,22 @@ func TestGoldenCorpusSanity(t *testing.T) {
 			// relation above is all we can check.
 			continue
 		}
-		for _, s := range solver.Solvers() {
-			if solver.IsExact(s) && solver.PolicyOf(s) == core.Multiple {
+		for _, eng := range solver.Engines() {
+			c := eng.Capabilities()
+			if c.Exact && c.Policy == core.Multiple {
 				// Their result is optM by definition; skip the
 				// redundant (and expensive) re-solve.
 				continue
 			}
-			sol, err := s.Solve(ctx, &in)
+			rep, err := eng.Solve(ctx, solver.Request{Instance: &in})
 			if err != nil {
-				continue // NoD-gated or shape-gated solver
+				continue // NoD-gated or shape-gated engine
 			}
-			if solver.PolicyOf(s) == core.Multiple && sol.NumReplicas() < optM.NumReplicas() {
-				t.Errorf("%s: %s beat the Multiple optimum", f, s.Name())
+			if c.Policy == core.Multiple && rep.Solution.NumReplicas() < optM.NumReplicas() {
+				t.Errorf("%s: %s beat the Multiple optimum", f, eng.Name())
 			}
-			if sol.NumReplicas() < core.LowerBound(&in) {
-				t.Errorf("%s: %s below lower bound", f, s.Name())
+			if rep.Solution.NumReplicas() < core.LowerBound(&in) {
+				t.Errorf("%s: %s below lower bound", f, eng.Name())
 			}
 		}
 	}

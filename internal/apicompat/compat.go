@@ -1,0 +1,85 @@
+// Package apicompat is a compile-time pin of the deprecated v1 solver
+// API. It is never executed: the CI api-compat step (and every
+// `go build ./...`) compiles it, so removing or breaking any v1 shim —
+// the Solver interface, the optional metadata interfaces, the
+// WithBudget context idiom, the registry accessors or the legacy
+// Task/Result fields — fails the build instead of silently stranding
+// downstream v1 consumers. Delete this package only together with the
+// shims themselves, in a major cleanup that intends the break.
+//
+//lint:file-ignore SA1019 this package exists to exercise the deprecated v1 API
+package apicompat
+
+import (
+	"context"
+
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+)
+
+// v1Solver is the canonical external v1 implementation shape: a bare
+// Solver plus the optional metadata interfaces.
+type v1Solver struct{}
+
+func (v1Solver) Name() string        { return "apicompat-v1" }
+func (v1Solver) Policy() core.Policy { return core.Multiple }
+func (v1Solver) Exact() bool         { return false }
+
+func (v1Solver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	return core.Trivial(in), nil
+}
+
+// The interface satisfactions the v1 contract promised.
+var (
+	_ solver.Solver         = v1Solver{}
+	_ solver.PolicyProvider = v1Solver{}
+	_ solver.ExactProvider  = v1Solver{}
+)
+
+// UseV1API exercises every deprecated call shape of the v1 surface.
+// It is intentionally unreachable from any main; the compiler is the
+// only caller that matters.
+func UseV1API(in *core.Instance) (*core.Solution, error) {
+	// Construction shims.
+	byFunc := solver.New("apicompat-new", core.Single,
+		func(_ context.Context, in *core.Instance) (*core.Solution, error) { return core.Trivial(in), nil })
+	byWrap := solver.Wrap("apicompat-wrap", core.Multiple,
+		func(in *core.Instance) (*core.Solution, error) { return core.Trivial(in), nil })
+
+	// Registry shims (error-returning form only: actually registering
+	// would pollute the process-global registry).
+	if err := solver.Register(nil); err == nil {
+		return nil, err
+	}
+	names := solver.List()
+	s, err := solver.Get(names[0])
+	if err != nil {
+		return nil, err
+	}
+	s = solver.MustGet(solver.SingleGen)
+	_ = solver.Solvers()
+
+	// Metadata probes with their documented silent defaults.
+	_ = solver.PolicyOf(byFunc)
+	_ = solver.IsExact(byWrap)
+
+	// The context budget idiom.
+	ctx := solver.WithBudget(context.Background(), 1000)
+	if b := solver.BudgetFrom(ctx); b != 1000 {
+		_ = b
+	}
+
+	// The legacy solve and batch shapes.
+	sol, err := s.Solve(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	results, stats := solver.Batch(ctx, []solver.Task{{ID: "t", Solver: s, Instance: in}}, solver.Options{Workers: 1})
+	_ = stats.String()
+	for _, r := range results {
+		if r.Err == nil && !r.Skipped {
+			sol = r.Solution
+		}
+	}
+	return sol, nil
+}

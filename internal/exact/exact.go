@@ -27,6 +27,9 @@ type Options struct {
 	// Budget bounds the number of elementary search steps (node
 	// expansions / feasibility checks). 0 means DefaultBudget.
 	Budget int64
+	// Work, when non-nil, receives the number of elementary steps the
+	// solve actually performed — the currency of solver.Report.Work.
+	Work *int64
 }
 
 // DefaultBudget is the default work budget.
@@ -37,6 +40,20 @@ func (o Options) budget() int64 {
 		return DefaultBudget
 	}
 	return o.Budget
+}
+
+// record reports the steps consumed out of the initial budget, given
+// the remaining budget at the end of the search (which over-budget
+// searches may have driven slightly negative).
+func (o Options) record(remaining int64) {
+	if o.Work == nil {
+		return
+	}
+	consumed := o.budget() - remaining
+	if consumed < 0 {
+		consumed = 0
+	}
+	*o.Work = consumed
 }
 
 // candidates returns the nodes that can serve at least one client with

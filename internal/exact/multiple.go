@@ -24,6 +24,7 @@ func SolveMultiple(in *core.Instance, opt Options) (*core.Solution, error) {
 		return &core.Solution{}, nil
 	}
 	budget := opt.budget()
+	defer func() { opt.record(budget) }()
 
 	// The full candidate set is the most powerful replica set; if even
 	// it cannot serve everything, the instance is infeasible.

@@ -48,6 +48,7 @@ func SolveSingle(in *core.Instance, opt Options) (*core.Solution, error) {
 	}
 	s.best = len(clients) + 1 // strictly worse than the trivial solution
 	s.dfs(0)
+	opt.record(s.budget)
 	if s.budget <= 0 {
 		return nil, ErrBudget
 	}

@@ -22,16 +22,21 @@ import (
 // check that parallel and sequential sweeps agree.
 var Workers int
 
-// solveAll routes one registered solver over every instance through a
-// shared solver.Batch pool, returning per-instance results in input
-// order. Instance generation stays on a single sequential rng stream
-// and aggregation consumes results by index, so every table is
-// bit-identical for any worker count.
+// solveAll routes one registered engine over every instance through a
+// shared solver.Batch pool, returning per-instance results (with full
+// reports) in input order. Instance generation stays on a single
+// sequential rng stream and aggregation consumes results by index, so
+// every table is bit-identical for any worker count. The sweeps
+// compare raw objective values, so the per-task lower-bound block is
+// skipped via the request hint.
 func solveAll(name string, ins []*core.Instance) []solver.Result {
-	s := solver.MustGet(name)
+	eng := solver.MustLookup(name)
 	tasks := make([]solver.Task, len(ins))
 	for i, in := range ins {
-		tasks[i] = solver.Task{Solver: s, Instance: in}
+		tasks[i] = solver.Task{Engine: eng, Request: solver.Request{
+			Instance: in,
+			Hints:    map[string]string{"no-lower-bound": "1"},
+		}}
 	}
 	res, _ := solver.Batch(context.Background(), tasks, solver.Options{Workers: Workers})
 	return res

@@ -4,7 +4,7 @@ import (
 	"container/list"
 	"sync"
 
-	"replicatree/internal/core"
+	"replicatree/internal/solver"
 )
 
 // Cache is a size-bounded LRU over solved placements, keyed by
@@ -30,12 +30,12 @@ type cacheKey struct {
 	hash   string
 }
 
-// cacheEntry is the cached outcome of one verified solve.
+// cacheEntry is the cached outcome of one verified solve: the full
+// report (solution, policy, bound, optimality proof, work) minus the
+// timing, which is per-request.
 type cacheEntry struct {
-	key        cacheKey
-	solution   *core.Solution
-	policy     core.Policy
-	lowerBound int
+	key    cacheKey
+	report solver.Report
 }
 
 // NewCache returns an LRU cache bounded to capacity entries.
@@ -50,34 +50,39 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// Get returns the cached entry for (solverName, hash) and marks it
-// most recently used. The returned solution is a private clone,
-// taken after releasing the lock — entries are immutable once
-// inserted, so concurrent hits don't serialize behind the O(n) copy.
-func (c *Cache) Get(solverName, hash string) (*core.Solution, core.Policy, int, bool) {
+// Get returns the cached report for (solverName, hash) and marks it
+// most recently used. The returned report carries a private clone of
+// the solution, taken after releasing the lock — entries are
+// immutable once inserted, so concurrent hits don't serialize behind
+// the O(n) copy.
+func (c *Cache) Get(solverName, hash string) (solver.Report, bool) {
 	c.mu.Lock()
 	el, ok := c.m[cacheKey{solverName, hash}]
 	if !ok {
 		c.misses++
 		c.mu.Unlock()
-		return nil, 0, 0, false
+		return solver.Report{}, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	c.mu.Unlock()
-	return e.solution.Clone(), e.policy, e.lowerBound, true
+	rep := e.report
+	rep.Solution = rep.Solution.Clone()
+	return rep, true
 }
 
-// Put inserts a verified solve outcome, evicting the least recently
+// Put inserts a verified solve report, evicting the least recently
 // used entry when the cache is full. Re-putting an existing key
 // refreshes its entry.
-func (c *Cache) Put(solverName, hash string, sol *core.Solution, pol core.Policy, lowerBound int) {
-	if c.cap == 0 || sol == nil {
+func (c *Cache) Put(solverName, hash string, rep solver.Report) {
+	if c.cap == 0 || rep.Solution == nil {
 		return
 	}
 	key := cacheKey{solverName, hash}
-	entry := &cacheEntry{key: key, solution: sol.Clone(), policy: pol, lowerBound: lowerBound}
+	rep.Solution = rep.Solution.Clone()
+	rep.Elapsed = 0 // timing is per-request, not part of the cached outcome
+	entry := &cacheEntry{key: key, report: rep}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"replicatree/internal/core"
+	"replicatree/internal/solver"
 	"replicatree/internal/tree"
 )
 
@@ -17,25 +18,31 @@ func testSolution(replica tree.NodeID) *core.Solution {
 	return sol
 }
 
+// testReport wraps a solution as the cache's currency, with the
+// policy and bound the tests assert on.
+func testReport(replica tree.NodeID, pol core.Policy, lb int) solver.Report {
+	return solver.Report{Solution: testSolution(replica), Policy: pol, LowerBound: lb}
+}
+
 func TestCacheHitMissAndEviction(t *testing.T) {
 	c := NewCache(2)
-	if _, _, _, ok := c.Get("s", "h1"); ok {
+	if _, ok := c.Get("s", "h1"); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Put("s", "h1", testSolution(1), core.Single, 1)
-	c.Put("s", "h2", testSolution(2), core.Multiple, 2)
+	c.Put("s", "h1", testReport(1, core.Single, 1))
+	c.Put("s", "h2", testReport(2, core.Multiple, 2))
 
-	sol, pol, lb, ok := c.Get("s", "h1")
-	if !ok || pol != core.Single || lb != 1 || sol.NumReplicas() != 1 {
-		t.Fatalf("h1 lookup: ok=%v pol=%v lb=%d sol=%v", ok, pol, lb, sol)
+	rep, ok := c.Get("s", "h1")
+	if !ok || rep.Policy != core.Single || rep.LowerBound != 1 || rep.Solution.NumReplicas() != 1 {
+		t.Fatalf("h1 lookup: ok=%v report=%+v", ok, rep)
 	}
 
 	// h1 was just used, so inserting h3 must evict h2.
-	c.Put("s", "h3", testSolution(3), core.Single, 3)
-	if _, _, _, ok := c.Get("s", "h2"); ok {
+	c.Put("s", "h3", testReport(3, core.Single, 3))
+	if _, ok := c.Get("s", "h2"); ok {
 		t.Error("LRU kept the least recently used entry")
 	}
-	if _, _, _, ok := c.Get("s", "h1"); !ok {
+	if _, ok := c.Get("s", "h1"); !ok {
 		t.Error("LRU evicted the most recently used entry")
 	}
 	if c.Len() != 2 {
@@ -52,36 +59,59 @@ func TestCacheHitMissAndEviction(t *testing.T) {
 
 func TestCacheSolverNamespaces(t *testing.T) {
 	c := NewCache(8)
-	c.Put("a", "h", testSolution(1), core.Single, 1)
-	if _, _, _, ok := c.Get("b", "h"); ok {
+	c.Put("a", "h", testReport(1, core.Single, 1))
+	if _, ok := c.Get("b", "h"); ok {
 		t.Fatal("solver names share a cache line")
+	}
+}
+
+// TestCacheKeepsReportMetadata pins that a hit returns the full
+// report block — proof, work and winning engine survive the cache, so
+// /v2 responses do not degrade when warm.
+func TestCacheKeepsReportMetadata(t *testing.T) {
+	c := NewCache(8)
+	rep := testReport(1, core.Multiple, 1)
+	rep.Proved = true
+	rep.Work = 42
+	rep.Engine = "exact-multiple"
+	rep.Elapsed = time.Second // per-request; must not be cached
+	c.Put("s", "h", rep)
+	got, ok := c.Get("s", "h")
+	if !ok {
+		t.Fatal("miss")
+	}
+	if !got.Proved || got.Work != 42 || got.Engine != "exact-multiple" {
+		t.Errorf("report metadata lost in the cache: %+v", got)
+	}
+	if got.Elapsed != 0 {
+		t.Errorf("cached report kept a stale elapsed time %v", got.Elapsed)
 	}
 }
 
 func TestCacheClonesEntries(t *testing.T) {
 	c := NewCache(8)
-	orig := testSolution(1)
-	c.Put("s", "h", orig, core.Single, 1)
-	orig.Replicas[0] = 99 // mutating the inserted value must not reach the cache
+	orig := testReport(1, core.Single, 1)
+	c.Put("s", "h", orig)
+	orig.Solution.Replicas[0] = 99 // mutating the inserted value must not reach the cache
 
-	got, _, _, ok := c.Get("s", "h")
+	got, ok := c.Get("s", "h")
 	if !ok {
 		t.Fatal("miss")
 	}
-	if got.Replicas[0] != 1 {
+	if got.Solution.Replicas[0] != 1 {
 		t.Error("cache aliased the inserted solution")
 	}
-	got.Replicas[0] = 42 // mutating a returned value must not either
-	again, _, _, _ := c.Get("s", "h")
-	if again.Replicas[0] != 1 {
+	got.Solution.Replicas[0] = 42 // mutating a returned value must not either
+	again, _ := c.Get("s", "h")
+	if again.Solution.Replicas[0] != 1 {
 		t.Error("cache handed out aliased state")
 	}
 }
 
 func TestCacheZeroCapacityDisabled(t *testing.T) {
 	c := NewCache(0)
-	c.Put("s", "h", testSolution(1), core.Single, 1)
-	if _, _, _, ok := c.Get("s", "h"); ok {
+	c.Put("s", "h", testReport(1, core.Single, 1))
+	if _, ok := c.Get("s", "h"); ok {
 		t.Fatal("zero-capacity cache stored an entry")
 	}
 	if c.Len() != 0 {
@@ -91,21 +121,21 @@ func TestCacheZeroCapacityDisabled(t *testing.T) {
 
 func TestCachePutRefreshesExisting(t *testing.T) {
 	c := NewCache(2)
-	c.Put("s", "h", testSolution(1), core.Single, 1)
-	c.Put("s", "h", testSolution(2), core.Multiple, 2)
+	c.Put("s", "h", testReport(1, core.Single, 1))
+	c.Put("s", "h", testReport(2, core.Multiple, 2))
 	if c.Len() != 1 {
 		t.Fatalf("len %d, want 1", c.Len())
 	}
-	sol, pol, lb, ok := c.Get("s", "h")
-	if !ok || pol != core.Multiple || lb != 2 || sol.Replicas[0] != 2 {
-		t.Fatalf("refresh lost: ok=%v pol=%v lb=%d sol=%v", ok, pol, lb, sol)
+	rep, ok := c.Get("s", "h")
+	if !ok || rep.Policy != core.Multiple || rep.LowerBound != 2 || rep.Solution.Replicas[0] != 2 {
+		t.Fatalf("refresh lost: ok=%v report=%+v", ok, rep)
 	}
 }
 
 func TestCacheBoundUnderChurn(t *testing.T) {
 	c := NewCache(4)
 	for i := 0; i < 100; i++ {
-		c.Put("s", fmt.Sprintf("h%d", i), testSolution(tree.NodeID(i)), core.Single, 1)
+		c.Put("s", fmt.Sprintf("h%d", i), testReport(tree.NodeID(i), core.Single, 1))
 	}
 	if c.Len() != 4 {
 		t.Fatalf("len %d, want capacity 4", c.Len())
@@ -143,10 +173,10 @@ func TestMetricsHistogram(t *testing.T) {
 
 func BenchmarkCacheGetHit(b *testing.B) {
 	c := NewCache(1024)
-	c.Put("s", "h", testSolution(1), core.Single, 1)
+	c.Put("s", "h", testReport(1, core.Single, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, ok := c.Get("s", "h"); !ok {
+		if _, ok := c.Get("s", "h"); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -154,14 +184,14 @@ func BenchmarkCacheGetHit(b *testing.B) {
 
 func BenchmarkCachePutEvict(b *testing.B) {
 	c := NewCache(64)
-	sol := testSolution(1)
+	rep := testReport(1, core.Single, 1)
 	keys := make([]string, 128)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("h%d", i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Put("s", keys[i%len(keys)], sol, core.Single, 1)
+		c.Put("s", keys[i%len(keys)], rep)
 	}
 }
 

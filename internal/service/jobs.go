@@ -8,11 +8,14 @@ import (
 	"replicatree/internal/solver"
 )
 
-// JobManager runs asynchronous batch jobs: POST /v1/batch enqueues a
-// job, a bounded pool of runner goroutines drains the queue through
-// solver.Batch, and GET /v1/jobs/{id} polls the outcome. The queue is
-// bounded too — a full queue rejects the submit (the server turns
-// that into 503) instead of buffering unboundedly.
+// JobManager runs asynchronous batch jobs: POST /v{1,2}/batch
+// enqueues a job, a bounded pool of runner goroutines drains the
+// queue through solver.Batch, and GET /v{1,2}/jobs/{id} polls the
+// outcome. Jobs store the raw solver results; each API version
+// renders its own wire shape at poll time, so one job is pollable
+// from both surfaces. The queue is bounded too — a full queue rejects
+// the submit (the server turns that into 503) instead of buffering
+// unboundedly.
 type JobManager struct {
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -28,16 +31,22 @@ type JobManager struct {
 }
 
 type job struct {
-	id      string
-	tasks   []solver.Task
-	opt     solver.Options
-	status  string
-	results []TaskResult
-	stats   *JobStats
+	id     string
+	tasks  []solver.Task
+	opt    solver.Options
+	status string
+	// Both wire renderings are produced once, when the batch settles
+	// (outside the manager lock), so polls are O(1) copies and a done
+	// job's responses are frozen — in particular the per-task cached
+	// flag is snapshotted at settle time and cannot flip if an
+	// abandoned timed-out solve finishes later.
+	resultsV1 []TaskResult
+	resultsV2 []TaskResultV2
+	stats     *JobStats
 }
 
 // cachedReporter lets job results report cache hits; the server's
-// caching solver wrapper implements it.
+// caching engine wrapper implements it.
 type cachedReporter interface {
 	LastCached() bool
 }
@@ -92,8 +101,8 @@ func (m *JobManager) Submit(tasks []solver.Task, opt solver.Options) (string, er
 	return j.id, nil
 }
 
-// Get returns a snapshot of the job, or false if the ID is unknown
-// (never submitted, or pruned after retention).
+// Get returns the v1 rendering of the job, or false if the ID is
+// unknown (never submitted, or pruned after retention).
 func (m *JobManager) Get(id string) (JobResponse, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -102,8 +111,24 @@ func (m *JobManager) Get(id string) (JobResponse, bool) {
 		return JobResponse{}, false
 	}
 	resp := JobResponse{JobID: j.id, Status: j.status, Stats: j.stats}
-	if j.results != nil {
-		resp.Results = append([]TaskResult(nil), j.results...)
+	if j.resultsV1 != nil {
+		resp.Results = append([]TaskResult(nil), j.resultsV1...)
+	}
+	return resp, true
+}
+
+// GetV2 returns the v2 rendering of the job — per-task reports with
+// the uniform bound/gap/proof metadata — or false for unknown IDs.
+func (m *JobManager) GetV2(id string) (JobResponseV2, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobResponseV2{}, false
+	}
+	resp := JobResponseV2{JobID: j.id, Status: j.status, Stats: j.stats}
+	if j.resultsV2 != nil {
+		resp.Results = append([]TaskResultV2(nil), j.resultsV2...)
 	}
 	return resp, true
 }
@@ -129,13 +154,17 @@ func (m *JobManager) runner() {
 	for j := range m.queue {
 		m.setStatus(j, JobRunning)
 		results, st := solver.Batch(m.ctx, j.tasks, j.opt)
-		trs := make([]TaskResult, len(results))
+		trs1 := make([]TaskResult, len(results))
+		trs2 := make([]TaskResultV2, len(results))
 		for i, r := range results {
-			trs[i] = taskResult(r)
+			trs1[i] = taskResult(r)
+			trs2[i] = taskResultV2(r)
 		}
+		stats := jobStats(st)
 		m.mu.Lock()
-		j.results = trs
-		j.stats = jobStats(st)
+		j.resultsV1 = trs1
+		j.resultsV2 = trs2
+		j.stats = stats
 		j.status = JobDone
 		m.done = append(m.done, j.id)
 		for len(m.done) > m.retain {
@@ -152,14 +181,33 @@ func (m *JobManager) setStatus(j *job, status string) {
 	m.mu.Unlock()
 }
 
-func taskResult(r solver.Result) TaskResult {
-	tr := TaskResult{ID: r.Task.ID}
-	if r.Task.Solver != nil {
-		tr.Solver = r.Task.Solver.Name()
-		if c, ok := r.Task.Solver.(cachedReporter); ok {
-			tr.Cached = c.LastCached()
-		}
+// taskName resolves the display name of a task's engine, covering
+// both task forms.
+func taskName(t solver.Task) string {
+	switch {
+	case t.Engine != nil:
+		return t.Engine.Name()
+	case t.Solver != nil:
+		return t.Solver.Name()
+	default:
+		return ""
 	}
+}
+
+// taskCached reads the per-task cache flag when the task's engine
+// reports one.
+func taskCached(t solver.Task) bool {
+	if c, ok := t.Engine.(cachedReporter); ok {
+		return c.LastCached()
+	}
+	if c, ok := t.Solver.(cachedReporter); ok {
+		return c.LastCached()
+	}
+	return false
+}
+
+func taskResult(r solver.Result) TaskResult {
+	tr := TaskResult{ID: r.Task.ID, Solver: taskName(r.Task), Cached: taskCached(r.Task)}
 	if r.Err != nil {
 		tr.Error = r.Err.Error()
 		return tr
@@ -168,6 +216,32 @@ func taskResult(r solver.Result) TaskResult {
 	tr.Solution = r.Solution
 	if r.Solution != nil {
 		tr.Replicas = r.Solution.NumReplicas()
+	}
+	return tr
+}
+
+func taskResultV2(r solver.Result) TaskResultV2 {
+	tr := TaskResultV2{
+		ID:        r.Task.ID,
+		Solver:    taskName(r.Task),
+		Cached:    taskCached(r.Task),
+		ElapsedMS: durMS(r.Elapsed),
+	}
+	if r.Err != nil {
+		tr.Error = r.Err.Error()
+		return tr
+	}
+	rep := r.Report
+	tr.OK = true
+	tr.Engine = rep.Engine
+	tr.Policy = rep.Policy.String()
+	tr.LowerBound = rep.LowerBound
+	tr.Gap = rep.Gap
+	tr.Work = rep.Work
+	tr.Proved = rep.Proved
+	tr.Solution = rep.Solution
+	if rep.Solution != nil {
+		tr.Replicas = rep.Solution.NumReplicas()
 	}
 	return tr
 }

@@ -10,27 +10,30 @@ import (
 	"replicatree/internal/solver"
 )
 
-// registerSlowSolver registers (once per process) a solver that
+// registerSlowSolver registers (once per process) an engine that
 // ignores its context for ~200ms before answering — the shape of
 // solver that solver.Batch abandons on a per-task timeout.
 var registerSlowSolver = sync.OnceFunc(func() {
-	slow := solver.New("test-slow", core.Single, func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	slow := solver.NewEngine(solver.Capabilities{
+		Name: "test-slow", Policy: core.Single, SupportsDMax: true,
+		Cost: solver.CostPolynomial, Description: "test: sleeps 200ms, ignores its context",
+	}, func(ctx context.Context, req solver.Request) (*core.Solution, int64, error) {
 		time.Sleep(200 * time.Millisecond)
-		sol := core.Trivial(in)
+		sol := core.Trivial(req.Instance)
 		if sol == nil {
-			return nil, context.Canceled
+			return nil, 0, context.Canceled
 		}
-		return sol, nil
+		return sol, 0, nil
 	})
-	if err := solver.Register(slow); err != nil {
+	if err := solver.RegisterEngine(slow); err != nil {
 		panic(err)
 	}
 })
 
-// TestBatchTaskTimeoutAbandonedSolve pins the cachingSolver data-race
+// TestBatchTaskTimeoutAbandonedSolve pins the cachingEngine data-race
 // fix: a timed-out batch task's solve goroutine is abandoned by
 // solver.Batch but keeps running; its eventual LastCached store must
-// not race with the job runner reading results. The test drives
+// not race with a poll rendering results. The test drives
 // JobManager directly — HTTP polling would launder the race through
 // an incidental m.mu → metrics.mu happens-before chain and hide it
 // from the race detector.
@@ -41,9 +44,9 @@ func TestBatchTaskTimeoutAbandonedSolve(t *testing.T) {
 	defer srv.Close()
 
 	tasks := []solver.Task{{
-		ID:       "slow",
-		Solver:   &cachingSolver{server: srv, inner: solver.MustGet("test-slow")},
-		Instance: in,
+		ID:      "slow",
+		Engine:  &cachingEngine{server: srv, inner: solver.MustLookup("test-slow")},
+		Request: solver.Request{Instance: in},
 	}}
 	id, err := srv.jobs.Submit(tasks, solver.Options{Timeout: 10 * time.Millisecond})
 	if err != nil {
@@ -81,8 +84,8 @@ func TestJobQueueBackpressure(t *testing.T) {
 	in := goldenInstance(t, "binary_nod_1.json")
 	m := NewJobManager(1, 1, 0)
 	defer m.Close()
-	slow := solver.MustGet("test-slow")
-	task := []solver.Task{{Solver: slow, Instance: in}}
+	slow := solver.MustLookup("test-slow")
+	task := []solver.Task{{Engine: slow, Request: solver.Request{Instance: in}}}
 
 	// First job occupies the single runner, second fills the queue;
 	// the third must be rejected, not buffered.
@@ -105,17 +108,18 @@ func TestJobManagerCloseSkipsQueued(t *testing.T) {
 	registerSlowSolver()
 	in := goldenInstance(t, "binary_nod_1.json")
 	m := NewJobManager(1, 4, 0)
-	slow := solver.MustGet("test-slow")
-	running, err := m.Submit([]solver.Task{{Solver: slow, Instance: in}}, solver.Options{})
+	slow := solver.MustLookup("test-slow")
+	task := func() solver.Task { return solver.Task{Engine: slow, Request: solver.Request{Instance: in}} }
+	running, err := m.Submit([]solver.Task{task()}, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := m.Submit([]solver.Task{{Solver: slow, Instance: in}, {Solver: slow, Instance: in}}, solver.Options{})
+	queued, err := m.Submit([]solver.Task{task(), task()}, solver.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
-	if _, err := m.Submit([]solver.Task{{Solver: slow, Instance: in}}, solver.Options{}); err == nil {
+	if _, err := m.Submit([]solver.Task{task()}, solver.Options{}); err == nil {
 		t.Error("closed manager accepted a job")
 	}
 	for _, id := range []string{running, queued} {

@@ -1,17 +1,28 @@
 // Package service exposes the solver registry as an HTTP/JSON daemon:
-// placement-as-a-service. Endpoints:
+// placement-as-a-service. The v2 surface mirrors the solver package's
+// typed Request/Report contract; v1 is a frozen adapter over the same
+// engine path and stays byte-identical. Endpoints:
 //
-//	POST /v1/solve    — solve one instance with a named solver
-//	POST /v1/batch    — enqueue an async job over many (solver, instance) pairs
-//	GET  /v1/jobs/{id} — poll a batch job
-//	GET  /v1/solvers  — the registry contents
+//	POST /v2/solve    — solve one instance (policy/budget/timeout/hints)
+//	POST /v2/batch    — enqueue an async job over many typed tasks
+//	GET  /v2/jobs/{id} — poll a batch job with full per-task reports
+//	GET  /v2/solvers  — every engine's Capabilities document
+//	POST /v1/solve    — deprecated: v2 minus bound/proof/work metadata
+//	POST /v1/batch    — deprecated: untyped tasks
+//	GET  /v1/jobs/{id} — deprecated: v1 rendering of the same jobs
+//	GET  /v1/solvers  — deprecated: name/policy/exact triples
 //	GET  /healthz     — liveness
 //	GET  /metrics     — request counts, cache hit rate, per-solver latency
+//
+// v2 errors are RFC 7807 application/problem+json documents typed by
+// the solver sentinels (unknown solver → 404, unsupported request or
+// infeasible instance → 422); v1 keeps its legacy {"error": …} bodies.
 //
 // The hot path is the result cache: instances are keyed by their
 // canonical hash (core.Instance.CanonicalHash) so a repeated placement
 // of the same tree is served from an LRU in memory instead of
-// re-solved. Every solution — cached or fresh — has passed
+// re-solved. The cache stores full solve reports and is shared by both
+// API versions. Every solution — cached or fresh — has passed
 // core.Verify before it leaves the process.
 package service
 
@@ -22,6 +33,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +82,10 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("POST /v2/solve", s.handleSolveV2)
+	s.mux.HandleFunc("POST /v2/batch", s.handleBatchV2)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
+	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -108,13 +126,17 @@ const statusClientClosed = 499
 // solveErrorStatus classifies a failed solve: infeasible output →
 // 500 (checked first — a verification failure must surface as 5xx
 // even when the client has since disconnected), client gone → 499,
-// anything else (NoD-gating, budget, infeasible instance) → 422.
+// unknown engine → 404, anything else (the ErrPolicyUnsupported /
+// ErrInfeasible sentinels, budget exhaustion) → 422. Classification
+// is by errors.Is on the solver sentinels, never by string matching.
 func solveErrorStatus(r *http.Request, err error) int {
 	switch {
 	case errors.Is(err, errVerification):
 		return http.StatusInternalServerError
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil:
 		return statusClientClosed
+	case errors.Is(err, solver.ErrUnknownSolver):
+		return http.StatusNotFound
 	default:
 		return http.StatusUnprocessableEntity
 	}
@@ -134,36 +156,69 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 	return http.StatusOK, nil
 }
 
-// solveOutcome is the result of one cached-or-fresh solve.
+// solveOutcome is the result of one cached-or-fresh solve: the full
+// engine report plus the cache coordinates.
 type solveOutcome struct {
-	solution   *core.Solution
-	policy     core.Policy
-	lowerBound int
-	hash       string
-	cached     bool
+	report solver.Report
+	hash   string
+	cached bool
 }
 
-// solveCached is the shared solve path of /v1/solve and batch tasks:
-// canonical hash, cache lookup, solve on miss, verify, fill.
-func (s *Server) solveCached(ctx context.Context, sv solver.Solver, in *core.Instance) (solveOutcome, error) {
-	out := solveOutcome{hash: in.CanonicalHash()}
-	if sol, pol, lb, ok := s.cache.Get(sv.Name(), out.hash); ok {
-		out.solution, out.policy, out.lowerBound, out.cached = sol, pol, lb, true
+// requestVariant canonically encodes the request fields that can
+// change a solve's outcome — the policy constraint, the work budget
+// and the (already service-filtered) hints — so differently
+// constrained requests never share a cache line. Unconstrained
+// requests encode to "", which keeps the plain v1 key shape and lets
+// /v1 and zero-constraint /v2 requests share entries.
+func requestVariant(req solver.Request) string {
+	if req.Policy == solver.AnyPolicy && req.Budget == 0 && len(req.Hints) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "p=%d;b=%d", req.Policy, req.Budget)
+	keys := make([]string, 0, len(req.Hints))
+	for k := range req.Hints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// Quote keys and values: hints are client-controlled, so raw
+		// ';'/'=' inside them must not collide with the delimiters
+		// (strconv.Quote escapes embedded quotes, making the encoding
+		// injective).
+		fmt.Fprintf(&sb, ";%s=%s", strconv.Quote(k), strconv.Quote(req.Hints[k]))
+	}
+	return sb.String()
+}
+
+// solveCached is the shared engine path of both API versions'
+// solve and batch endpoints: canonical hash, cache lookup, engine
+// solve on miss, verify, fill. The cache key is the dispatched engine
+// name plus the hash and request variant, so /v1 and unconstrained
+// /v2 requests share entries for the same (solver, instance) while
+// constrained requests get their own lines.
+func (s *Server) solveCached(ctx context.Context, eng solver.Engine, req solver.Request) (solveOutcome, error) {
+	out := solveOutcome{hash: req.Instance.CanonicalHash()}
+	key := out.hash
+	if v := requestVariant(req); v != "" {
+		key += "|" + v // the hash is hex, so "|" cannot collide
+	}
+	name := eng.Name()
+	if rep, ok := s.cache.Get(name, key); ok {
+		out.report, out.cached = rep, true
 		return out, nil
 	}
 	begin := time.Now()
-	sol, err := sv.Solve(ctx, in)
+	rep, err := eng.Solve(ctx, req)
 	if err != nil {
 		return out, err
 	}
-	s.metrics.Solve(sv.Name(), time.Since(begin))
-	pol := solver.PolicyOf(sv)
-	if err := core.Verify(in, pol, sol); err != nil {
-		return out, fmt.Errorf("%w: solver %s: %v", errVerification, sv.Name(), err)
+	s.metrics.Solve(name, time.Since(begin))
+	if err := core.Verify(req.Instance, rep.Policy, rep.Solution); err != nil {
+		return out, fmt.Errorf("%w: solver %s: %v", errVerification, name, err)
 	}
-	lb := core.LowerBound(in)
-	s.cache.Put(sv.Name(), out.hash, sol, pol, lb)
-	out.solution, out.policy, out.lowerBound = sol, pol, lb
+	s.cache.Put(name, key, rep)
+	out.report = rep
 	return out, nil
 }
 
@@ -183,29 +238,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, endpoint, http.StatusBadRequest, errors.New("missing solver name (see GET /v1/solvers)"))
 		return
 	}
-	sv, err := solver.Get(req.Solver)
+	eng, err := solver.Lookup(req.Solver)
 	if err != nil {
 		s.writeError(w, endpoint, http.StatusNotFound, err)
 		return
 	}
-	out, err := s.solveCached(r.Context(), sv, req.Instance)
+	out, err := s.solveCached(r.Context(), eng, solver.Request{Instance: req.Instance})
 	if err != nil {
 		s.writeError(w, endpoint, solveErrorStatus(r, err), err)
 		return
 	}
 	resp := SolveResponse{
-		Solver:     sv.Name(),
-		Policy:     out.policy.String(),
+		Solver:     eng.Name(),
+		Policy:     out.report.Policy.String(),
 		Hash:       out.hash,
-		Replicas:   out.solution.NumReplicas(),
-		LowerBound: out.lowerBound,
+		Replicas:   out.report.Solution.NumReplicas(),
+		LowerBound: out.report.LowerBound,
+		Gap:        out.report.Gap,
 		Verified:   true,
 		Cached:     out.cached,
 		ElapsedMS:  durMS(time.Since(begin)),
-		Solution:   out.solution,
-	}
-	if out.lowerBound > 0 {
-		resp.Gap = float64(resp.Replicas-out.lowerBound) / float64(out.lowerBound)
+		Solution:   out.report.Solution,
 	}
 	s.writeJSON(w, endpoint, http.StatusOK, resp)
 }
@@ -243,15 +296,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("task %d: missing instance", i))
 			return
 		}
-		sv, err := solver.Get(bt.Solver)
+		eng, err := solver.Lookup(bt.Solver)
 		if err != nil {
 			s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("task %d: %w", i, err))
 			return
 		}
 		tasks[i] = solver.Task{
-			ID:       bt.ID,
-			Solver:   &cachingSolver{server: s, inner: sv},
-			Instance: bt.Instance,
+			ID:      bt.ID,
+			Engine:  &cachingEngine{server: s, inner: eng},
+			Request: solver.Request{Instance: bt.Instance},
 		}
 	}
 	opt := solver.Options{Workers: workers, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
@@ -279,13 +332,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
-	solvers := solver.Solvers()
-	infos := make([]SolverInfo, len(solvers))
-	for i, sv := range solvers {
+	catalog := solver.Catalog()
+	infos := make([]SolverInfo, len(catalog))
+	for i, c := range catalog {
 		infos[i] = SolverInfo{
-			Name:   sv.Name(),
-			Policy: solver.PolicyOf(sv).String(),
-			Exact:  solver.IsExact(sv),
+			Name:   c.Name,
+			Policy: c.Policy.String(),
+			Exact:  c.Exact,
 		}
 	}
 	s.writeJSON(w, "/v1/solvers", http.StatusOK, infos)
@@ -320,32 +373,29 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 	s.writeJSON(w, endpoint, status, ErrorResponse{Error: err.Error()})
 }
 
-// cachingSolver routes a batch task's Solve through the server's
+// cachingEngine routes a batch task's Solve through the server's
 // cache + verify path and remembers whether it hit, so job results
 // can report per-task cache effectiveness. The flag is atomic: a
 // timed-out batch task's solve goroutine is abandoned by
-// solver.Batch and may still be writing it when the job runner
-// collects results.
-type cachingSolver struct {
+// solver.Batch and may still be writing it when a poll renders
+// results.
+type cachingEngine struct {
 	server *Server
-	inner  solver.Solver
+	inner  solver.Engine
 	cached atomic.Bool
 }
 
-func (c *cachingSolver) Name() string { return c.inner.Name() }
+func (c *cachingEngine) Name() string                      { return c.inner.Name() }
+func (c *cachingEngine) Capabilities() solver.Capabilities { return c.inner.Capabilities() }
 
-// Policy and Exact forward the inner solver's metadata.
-func (c *cachingSolver) Policy() core.Policy { return solver.PolicyOf(c.inner) }
-func (c *cachingSolver) Exact() bool         { return solver.IsExact(c.inner) }
-
-func (c *cachingSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
-	out, err := c.server.solveCached(ctx, c.inner, in)
+func (c *cachingEngine) Solve(ctx context.Context, req solver.Request) (solver.Report, error) {
+	out, err := c.server.solveCached(ctx, c.inner, req)
 	if err != nil {
-		return nil, err
+		return solver.Report{}, err
 	}
 	c.cached.Store(out.cached)
-	return out.solution, nil
+	return out.report, nil
 }
 
 // LastCached implements cachedReporter.
-func (c *cachingSolver) LastCached() bool { return c.cached.Load() }
+func (c *cachingEngine) LastCached() bool { return c.cached.Load() }

@@ -244,12 +244,12 @@ func TestSolversParityWithRegistry(t *testing.T) {
 	names := make([]string, len(infos))
 	for i, info := range infos {
 		names[i] = info.Name
-		sv := solver.MustGet(info.Name)
-		if got := solver.PolicyOf(sv).String(); info.Policy != got {
+		c := solver.MustLookup(info.Name).Capabilities()
+		if got := c.Policy.String(); info.Policy != got {
 			t.Errorf("%s: policy %q, registry says %q", info.Name, info.Policy, got)
 		}
-		if got := solver.IsExact(sv); info.Exact != got {
-			t.Errorf("%s: exact %v, registry says %v", info.Name, info.Exact, got)
+		if info.Exact != c.Exact {
+			t.Errorf("%s: exact %v, registry says %v", info.Name, info.Exact, c.Exact)
 		}
 	}
 	if want := solver.List(); !reflect.DeepEqual(names, want) {

@@ -1,0 +1,409 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/solver"
+)
+
+// The /v2 surface mirrors the solver package's Request/Report
+// contract over HTTP: requests carry the typed constraint fields
+// (policy, budget, timeout, hints), responses carry the uniform
+// quality metadata (lower bound, gap, work, optimality proof), the
+// solver catalogue returns full Capabilities documents, and errors
+// are RFC 7807 application/problem+json, typed by the solver
+// sentinels.
+
+// SolveRequestV2 is the body of POST /v2/solve — the wire form of
+// solver.Request plus the engine name.
+type SolveRequestV2 struct {
+	// Solver is a registry name (see GET /v2/solvers); "auto" selects
+	// the capability-driven portfolio.
+	Solver string `json:"solver"`
+	// Instance is the problem instance in the core wire format.
+	Instance *core.Instance `json:"instance"`
+	// Policy constrains the solution's access policy: "", "any",
+	// "single" or "multiple" (case-insensitive).
+	Policy string `json:"policy,omitempty"`
+	// Budget caps the work of exact engines (0 = engine default).
+	Budget int64 `json:"budget,omitempty"`
+	// TimeoutMS bounds the solve's wall-clock time (0 = none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Hints is free-form engine advice (see solver.Request.Hints).
+	Hints map[string]string `json:"hints,omitempty"`
+}
+
+// SolveResponseV2 is the body of a successful POST /v2/solve — the
+// wire form of solver.Report.
+type SolveResponseV2 struct {
+	// Solver is the dispatched registry name; Engine is the engine
+	// that actually produced the solution (they differ under "auto").
+	Solver string `json:"solver"`
+	Engine string `json:"engine"`
+	// Policy is the access policy the returned solution obeys.
+	Policy string `json:"policy"`
+	// Hash is the canonical instance hash (the cache key, minus the
+	// solver name).
+	Hash     string `json:"hash"`
+	Replicas int    `json:"replicas"`
+	// LowerBound is core.LowerBound of the instance; Gap is
+	// (Replicas − LowerBound) / LowerBound, 0 when the bound is met.
+	LowerBound int     `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+	// Work counts the engine's elementary search steps (exact engines
+	// only; 0 when untracked). Proved marks a provably optimal
+	// solution for the reported policy.
+	Work   int64 `json:"work,omitempty"`
+	Proved bool  `json:"proved"`
+	// Verified is always true in a 200 response: solutions are checked
+	// with core.Verify before they are returned or cached.
+	Verified bool `json:"verified"`
+	// Cached reports whether the solution came from the result cache.
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Solution  *core.Solution `json:"solution"`
+}
+
+// BatchRequestV2 is the body of POST /v2/batch.
+type BatchRequestV2 struct {
+	Tasks []BatchTaskV2 `json:"tasks"`
+	// Workers bounds the job's solver pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds each task (0 = no per-task timeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchTaskV2 is one typed task of a v2 batch job.
+type BatchTaskV2 struct {
+	// ID is an optional caller label echoed in the task's result.
+	ID       string            `json:"id,omitempty"`
+	Solver   string            `json:"solver"`
+	Instance *core.Instance    `json:"instance"`
+	Policy   string            `json:"policy,omitempty"`
+	Budget   int64             `json:"budget,omitempty"`
+	Hints    map[string]string `json:"hints,omitempty"`
+}
+
+// TaskResultV2 is the outcome of one v2 batch task: the task identity
+// plus the full report metadata of SolveResponseV2.
+type TaskResultV2 struct {
+	ID         string         `json:"id,omitempty"`
+	Solver     string         `json:"solver"`
+	Engine     string         `json:"engine,omitempty"`
+	Policy     string         `json:"policy,omitempty"`
+	OK         bool           `json:"ok"`
+	Error      string         `json:"error,omitempty"`
+	Replicas   int            `json:"replicas,omitempty"`
+	LowerBound int            `json:"lower_bound,omitempty"`
+	Gap        float64        `json:"gap,omitempty"`
+	Work       int64          `json:"work,omitempty"`
+	Proved     bool           `json:"proved,omitempty"`
+	Cached     bool           `json:"cached,omitempty"`
+	ElapsedMS  float64        `json:"elapsed_ms,omitempty"`
+	Solution   *core.Solution `json:"solution,omitempty"`
+}
+
+// JobResponseV2 is the body of GET /v2/jobs/{id}.
+type JobResponseV2 struct {
+	JobID   string         `json:"job_id"`
+	Status  string         `json:"status"`
+	Results []TaskResultV2 `json:"results,omitempty"`
+	Stats   *JobStats      `json:"stats,omitempty"`
+}
+
+// CapabilityDoc is one engine's capability document in
+// GET /v2/solvers — the wire form of solver.Capabilities.
+type CapabilityDoc struct {
+	Name         string `json:"name"`
+	Policy       string `json:"policy"`
+	Exact        bool   `json:"exact"`
+	SupportsDMax bool   `json:"supports_dmax"`
+	Hetero       bool   `json:"hetero"`
+	Cost         string `json:"cost"`
+	Description  string `json:"description"`
+}
+
+// Problem is an RFC 7807 error document, the body of every non-2xx
+// /v2 response (Content-Type: application/problem+json).
+type Problem struct {
+	Type   string `json:"type"`
+	Title  string `json:"title"`
+	Status int    `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Problem type URIs, one per error class a /v2 consumer can branch on.
+const (
+	ProblemBadRequest      = "urn:replicatree:problem:bad-request"
+	ProblemTooLarge        = "urn:replicatree:problem:payload-too-large"
+	ProblemUnknownSolver   = "urn:replicatree:problem:unknown-solver"
+	ProblemUnsupported     = "urn:replicatree:problem:unsupported-request"
+	ProblemInfeasible      = "urn:replicatree:problem:infeasible-instance"
+	ProblemBudgetExhausted = "urn:replicatree:problem:budget-exhausted"
+	ProblemSolveFailed     = "urn:replicatree:problem:solve-failed"
+	ProblemVerification    = "urn:replicatree:problem:verification-failed"
+	ProblemClientClosed    = "urn:replicatree:problem:client-closed-request"
+	ProblemUnknownJob      = "urn:replicatree:problem:unknown-job"
+	ProblemOverloaded      = "urn:replicatree:problem:overloaded"
+)
+
+// problem builds a Problem from its parts.
+func problem(typ, title string, status int, err error) Problem {
+	p := Problem{Type: typ, Title: title, Status: status}
+	if err != nil {
+		p.Detail = err.Error()
+	}
+	return p
+}
+
+// solveProblem classifies a failed solve onto a Problem via the
+// solver sentinels — the typed replacement for v1's status-only
+// classification. Verification failures outrank everything (they are
+// 5xx even when the client has since disconnected); a dead client
+// outranks the rest so aborted solves don't read as bad instances.
+func solveProblem(r *http.Request, err error) Problem {
+	switch {
+	case errors.Is(err, errVerification):
+		return problem(ProblemVerification, "solution failed verification", http.StatusInternalServerError, err)
+	case r.Context().Err() != nil:
+		return problem(ProblemClientClosed, "client closed request", statusClientClosed, err)
+	case errors.Is(err, solver.ErrUnknownSolver):
+		return problem(ProblemUnknownSolver, "unknown solver", http.StatusNotFound, err)
+	case errors.Is(err, solver.ErrPolicyUnsupported):
+		return problem(ProblemUnsupported, "request unsupported by engine", http.StatusUnprocessableEntity, err)
+	case errors.Is(err, solver.ErrInfeasible):
+		return problem(ProblemInfeasible, "instance infeasible", http.StatusUnprocessableEntity, err)
+	case errors.Is(err, exact.ErrBudget):
+		return problem(ProblemBudgetExhausted, "work budget exceeded", http.StatusUnprocessableEntity, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return problem(ProblemBudgetExhausted, "solve timed out", http.StatusUnprocessableEntity, err)
+	default:
+		return problem(ProblemSolveFailed, "solve failed", http.StatusUnprocessableEntity, err)
+	}
+}
+
+// writeProblem emits a Problem with the RFC 7807 media type.
+func (s *Server) writeProblem(w http.ResponseWriter, endpoint string, p Problem) {
+	s.metrics.Request(endpoint, p.Status)
+	w.Header().Set("Content-Type", "application/problem+json")
+	w.WriteHeader(p.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p) // the status line is already out; nothing to salvage
+}
+
+// parseWant maps the wire policy constraint onto solver.Want.
+func parseWant(s string) (solver.Want, error) {
+	switch strings.ToLower(s) {
+	case "", "any":
+		return solver.AnyPolicy, nil
+	case "single":
+		return solver.WantSingle, nil
+	case "multiple":
+		return solver.WantMultiple, nil
+	default:
+		return solver.AnyPolicy, fmt.Errorf("unknown policy constraint %q (want \"any\", \"single\" or \"multiple\")", s)
+	}
+}
+
+// serviceHints filters client hints the daemon must not forward:
+// "no-lower-bound" would poison the shared result cache with
+// bound-less reports, and the service always reports bounds.
+func serviceHints(hints map[string]string) map[string]string {
+	if _, ok := hints["no-lower-bound"]; !ok {
+		return hints
+	}
+	out := make(map[string]string, len(hints))
+	for k, v := range hints {
+		if k != "no-lower-bound" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// v2Request assembles a solver.Request from wire fields shared by
+// solve and batch tasks.
+func v2Request(in *core.Instance, policy string, budget int64, hints map[string]string) (solver.Request, error) {
+	want, err := parseWant(policy)
+	if err != nil {
+		return solver.Request{}, err
+	}
+	return solver.Request{
+		Instance: in,
+		Policy:   want,
+		Budget:   budget,
+		Hints:    serviceHints(hints),
+	}, nil
+}
+
+func (s *Server) handleSolveV2(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v2/solve"
+	begin := time.Now()
+	var req SolveRequestV2
+	if status, err := decodeBody(w, r, &req); err != nil {
+		typ := ProblemBadRequest
+		if status == http.StatusRequestEntityTooLarge {
+			typ = ProblemTooLarge
+		}
+		s.writeProblem(w, endpoint, problem(typ, "invalid request body", status, err))
+		return
+	}
+	if req.Instance == nil {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+			http.StatusBadRequest, errors.New("missing instance")))
+		return
+	}
+	if req.Solver == "" {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+			http.StatusBadRequest, errors.New("missing solver name (see GET /v2/solvers)")))
+		return
+	}
+	sreq, err := v2Request(req.Instance, req.Policy, req.Budget, req.Hints)
+	if err != nil {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body", http.StatusBadRequest, err))
+		return
+	}
+	if req.TimeoutMS < 0 {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+			http.StatusBadRequest, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)))
+		return
+	}
+	if req.TimeoutMS > 0 {
+		sreq.Deadline = time.Now().Add(time.Duration(req.TimeoutMS) * time.Millisecond)
+	}
+	eng, err := solver.Lookup(req.Solver)
+	if err != nil {
+		s.writeProblem(w, endpoint, solveProblem(r, err))
+		return
+	}
+	out, err := s.solveCached(r.Context(), eng, sreq)
+	if err != nil {
+		s.writeProblem(w, endpoint, solveProblem(r, err))
+		return
+	}
+	rep := out.report
+	s.writeJSON(w, endpoint, http.StatusOK, SolveResponseV2{
+		Solver:     eng.Name(),
+		Engine:     rep.Engine,
+		Policy:     rep.Policy.String(),
+		Hash:       out.hash,
+		Replicas:   rep.Solution.NumReplicas(),
+		LowerBound: rep.LowerBound,
+		Gap:        rep.Gap,
+		Work:       rep.Work,
+		Proved:     rep.Proved,
+		Verified:   true,
+		Cached:     out.cached,
+		ElapsedMS:  durMS(time.Since(begin)),
+		Solution:   rep.Solution,
+	})
+}
+
+func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v2/batch"
+	var req BatchRequestV2
+	if status, err := decodeBody(w, r, &req); err != nil {
+		typ := ProblemBadRequest
+		if status == http.StatusRequestEntityTooLarge {
+			typ = ProblemTooLarge
+		}
+		s.writeProblem(w, endpoint, problem(typ, "invalid request body", status, err))
+		return
+	}
+	if len(req.Tasks) == 0 {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+			http.StatusBadRequest, errors.New("empty task list")))
+		return
+	}
+	if len(req.Tasks) > maxBatchTasks {
+		s.writeProblem(w, endpoint, problem(ProblemTooLarge, "batch too large", http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d tasks exceeds the limit of %d (split into multiple jobs)", len(req.Tasks), maxBatchTasks)))
+		return
+	}
+	if req.Workers < 0 {
+		s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+			http.StatusBadRequest, fmt.Errorf("negative workers %d", req.Workers)))
+		return
+	}
+	// Workers is client-controlled; clamp it so one job can never
+	// spawn more solve goroutines than the machine has cores.
+	workers := req.Workers
+	if cores := runtime.GOMAXPROCS(0); workers > cores {
+		workers = cores
+	}
+	tasks := make([]solver.Task, len(req.Tasks))
+	for i, bt := range req.Tasks {
+		if bt.Instance == nil {
+			s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+				http.StatusBadRequest, fmt.Errorf("task %d: missing instance", i)))
+			return
+		}
+		eng, err := solver.Lookup(bt.Solver)
+		if err != nil {
+			s.writeProblem(w, endpoint, problem(ProblemUnknownSolver, "unknown solver",
+				http.StatusNotFound, fmt.Errorf("task %d: %w", i, err)))
+			return
+		}
+		sreq, err := v2Request(bt.Instance, bt.Policy, bt.Budget, bt.Hints)
+		if err != nil {
+			s.writeProblem(w, endpoint, problem(ProblemBadRequest, "invalid request body",
+				http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err)))
+			return
+		}
+		tasks[i] = solver.Task{
+			ID:      bt.ID,
+			Engine:  &cachingEngine{server: s, inner: eng},
+			Request: sreq,
+		}
+	}
+	opt := solver.Options{Workers: workers, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
+	id, err := s.jobs.Submit(tasks, opt)
+	if err != nil {
+		s.writeProblem(w, endpoint, problem(ProblemOverloaded, "job queue unavailable", http.StatusServiceUnavailable, err))
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusAccepted, BatchAccepted{
+		JobID:     id,
+		StatusURL: "/v2/jobs/" + id,
+		Tasks:     len(tasks),
+	})
+}
+
+func (s *Server) handleJobV2(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v2/jobs"
+	id := r.PathValue("id")
+	resp, ok := s.jobs.GetV2(id)
+	if !ok {
+		s.writeProblem(w, endpoint, problem(ProblemUnknownJob, "unknown job",
+			http.StatusNotFound, fmt.Errorf("unknown job %q", id)))
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolversV2(w http.ResponseWriter, r *http.Request) {
+	catalog := solver.Catalog()
+	docs := make([]CapabilityDoc, len(catalog))
+	for i, c := range catalog {
+		docs[i] = CapabilityDoc{
+			Name:         c.Name,
+			Policy:       c.Policy.String(),
+			Exact:        c.Exact,
+			SupportsDMax: c.SupportsDMax,
+			Hetero:       c.Hetero,
+			Cost:         c.Cost.String(),
+			Description:  c.Description,
+		}
+	}
+	s.writeJSON(w, "/v2/solvers", http.StatusOK, docs)
+}

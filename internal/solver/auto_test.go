@@ -1,0 +1,181 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/gen"
+)
+
+// autoInstances is a deterministic mixed bag of NoD and
+// distance-constrained instances for the portfolio tests.
+func autoInstances(n int) []*core.Instance {
+	rng := rand.New(rand.NewSource(77))
+	out := make([]*core.Instance, n)
+	for i := range out {
+		out[i] = gen.RandomInstance(rng, gen.TreeConfig{
+			Internals:    2 + rng.Intn(5),
+			MaxArity:     2 + rng.Intn(3),
+			MaxDist:      3,
+			MaxReq:       9,
+			ExtraClients: rng.Intn(4),
+		}, i%2 == 1)
+	}
+	return out
+}
+
+// TestAutoNeverWorse pins the portfolio's whole point: on every
+// instance, auto is at least as good as every individual non-hetero
+// engine that succeeds, and its solution verifies under its reported
+// policy.
+func TestAutoNeverWorse(t *testing.T) {
+	ctx := context.Background()
+	auto := MustLookup(Auto)
+	for ii, in := range autoInstances(10) {
+		rep, err := auto.Solve(ctx, Request{Instance: in})
+		if err != nil {
+			t.Fatalf("instance %d: auto: %v", ii, err)
+		}
+		if err := core.Verify(in, rep.Policy, rep.Solution); err != nil {
+			t.Fatalf("instance %d: auto solution infeasible: %v", ii, err)
+		}
+		got := rep.Solution.NumReplicas()
+		for _, eng := range Engines() {
+			c := eng.Capabilities()
+			if c.Name == Auto || c.Hetero {
+				continue
+			}
+			r, err := eng.Solve(ctx, Request{Instance: in})
+			if err != nil {
+				continue
+			}
+			if got > r.Solution.NumReplicas() {
+				t.Errorf("instance %d: auto %d worse than %s %d", ii, got, c.Name, r.Solution.NumReplicas())
+			}
+		}
+		if rep.Engine == Auto || rep.Engine == "" {
+			t.Errorf("instance %d: report does not name the winning engine: %q", ii, rep.Engine)
+		}
+	}
+}
+
+// TestAutoProvedOptimal pins that on small instances the exact
+// candidates join the portfolio and certify the winner: the report is
+// proved and matches exact-multiple.
+func TestAutoProvedOptimal(t *testing.T) {
+	ctx := context.Background()
+	auto := MustLookup(Auto)
+	for ii, in := range autoInstances(6) {
+		rep, err := auto.Solve(ctx, Request{Instance: in})
+		if err != nil {
+			t.Fatalf("instance %d: %v", ii, err)
+		}
+		if !rep.Proved {
+			t.Errorf("instance %d: small-instance portfolio not proved", ii)
+		}
+		opt, err := MustLookup(ExactMultiple).Solve(ctx, Request{Instance: in})
+		if err != nil {
+			t.Fatalf("instance %d: exact-multiple: %v", ii, err)
+		}
+		if rep.Solution.NumReplicas() != opt.Solution.NumReplicas() {
+			t.Errorf("instance %d: auto %d, optimum %d", ii, rep.Solution.NumReplicas(), opt.Solution.NumReplicas())
+		}
+	}
+}
+
+// TestAutoWantSingle pins the policy constraint: the portfolio
+// restricted to Single engines reports a Single-policy solution that
+// matches the best Single engine, and never silently relaxes.
+func TestAutoWantSingle(t *testing.T) {
+	ctx := context.Background()
+	auto := MustLookup(Auto)
+	for ii, in := range autoInstances(6) {
+		rep, err := auto.Solve(ctx, Request{Instance: in, Policy: WantSingle})
+		if err != nil {
+			t.Fatalf("instance %d: %v", ii, err)
+		}
+		if rep.Policy != core.Single {
+			t.Fatalf("instance %d: WantSingle returned policy %v", ii, rep.Policy)
+		}
+		if err := core.Verify(in, core.Single, rep.Solution); err != nil {
+			t.Errorf("instance %d: solution fails Single verification: %v", ii, err)
+		}
+		opt, err := MustLookup(ExactSingle).Solve(ctx, Request{Instance: in})
+		if err != nil {
+			t.Fatalf("instance %d: exact-single: %v", ii, err)
+		}
+		if rep.Solution.NumReplicas() != opt.Solution.NumReplicas() {
+			t.Errorf("instance %d: constrained auto %d, Single optimum %d",
+				ii, rep.Solution.NumReplicas(), opt.Solution.NumReplicas())
+		}
+	}
+}
+
+// TestAutoDeterministic pins reproducibility: selection depends on
+// capabilities and replica counts only, never on timing, so repeated
+// runs return the same winner and the same solution.
+func TestAutoDeterministic(t *testing.T) {
+	ctx := context.Background()
+	auto := MustLookup(Auto)
+	for ii, in := range autoInstances(6) {
+		first, err := auto.Solve(ctx, Request{Instance: in})
+		if err != nil {
+			t.Fatalf("instance %d: %v", ii, err)
+		}
+		for run := 0; run < 3; run++ {
+			again, err := auto.Solve(ctx, Request{Instance: in})
+			if err != nil {
+				t.Fatalf("instance %d run %d: %v", ii, run, err)
+			}
+			if again.Engine != first.Engine || again.Proved != first.Proved ||
+				!reflect.DeepEqual(again.Solution, first.Solution) {
+				t.Fatalf("instance %d run %d: nondeterministic portfolio: %q/%d vs %q/%d",
+					ii, run, first.Engine, first.Solution.NumReplicas(),
+					again.Engine, again.Solution.NumReplicas())
+			}
+		}
+	}
+}
+
+// TestAutoExactHints pins the "exact" hint: "skip" removes the
+// exponential candidates (no proof possible), "force" admits them
+// regardless of instance size.
+func TestAutoExactHints(t *testing.T) {
+	ctx := context.Background()
+	auto := MustLookup(Auto)
+	in := autoInstances(1)[0]
+	rep, err := auto.Solve(ctx, Request{Instance: in, Hints: map[string]string{"exact": "skip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Proved {
+		t.Error("portfolio without exact candidates claimed a proof")
+	}
+	if rep.Work != 0 {
+		t.Errorf("heuristic-only portfolio reported work %d", rep.Work)
+	}
+	forced, err := auto.Solve(ctx, Request{Instance: in, Hints: map[string]string{"exact": "force"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.Proved {
+		t.Error("forced exact candidates still no proof")
+	}
+}
+
+// TestAutoBudgetPropagates pins that Request.Budget reaches the exact
+// candidates: a starvation budget silently drops them (the heuristics
+// still answer) instead of failing the portfolio.
+func TestAutoBudgetPropagates(t *testing.T) {
+	in := autoInstances(1)[0]
+	rep, err := MustLookup(Auto).Solve(context.Background(), Request{Instance: in, Budget: 1})
+	if err != nil {
+		t.Fatalf("starved portfolio failed outright: %v", err)
+	}
+	if rep.Proved {
+		t.Error("budget-starved exact candidates still proved the result")
+	}
+}

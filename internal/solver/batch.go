@@ -12,17 +12,51 @@ import (
 	"replicatree/internal/stats"
 )
 
-// Task is one (instance, solver) pair of a batch.
+// Task is one (engine, request) pair of a batch. Set Engine plus
+// Request (v2); the deprecated Solver/Instance pair keeps working and
+// is adapted on dispatch.
 type Task struct {
 	// ID is an optional caller label carried into the Result.
-	ID       string
-	Solver   Solver
+	ID string
+	// Engine and Request are the v2 task form; Request.Instance may be
+	// left nil when the legacy Instance field is set.
+	Engine  Engine
+	Request Request
+	// Solver is the deprecated task form, adapted via AsEngine.
+	//
+	// Deprecated: set Engine instead.
+	Solver Solver
+	// Instance is the deprecated companion of Solver.
+	//
+	// Deprecated: set Request.Instance instead.
 	Instance *core.Instance
+}
+
+// normalize resolves the two task forms into the engine dispatch pair.
+func (t Task) normalize() (Engine, Request, error) {
+	eng := t.Engine
+	if eng == nil {
+		if t.Solver == nil {
+			return nil, Request{}, errors.New("solver: batch task has nil solver")
+		}
+		eng = AsEngine(t.Solver)
+	}
+	req := t.Request
+	if req.Instance == nil {
+		req.Instance = t.Instance
+	}
+	if req.Instance == nil {
+		return nil, Request{}, fmt.Errorf("solver: batch task for %s has nil instance", eng.Name())
+	}
+	return eng, req, nil
 }
 
 // Result is the outcome of one Task.
 type Result struct {
-	Task     Task
+	Task Task
+	// Report is the engine's full v2 outcome (bound, gap, work, proof).
+	Report Report
+	// Solution mirrors Report.Solution for v1 consumers.
 	Solution *core.Solution
 	Err      error
 	Elapsed  time.Duration
@@ -144,12 +178,9 @@ func Batch(ctx context.Context, tasks []Task, opt Options) ([]Result, Stats) {
 // the solve goroutine against the task context.
 func runTask(ctx context.Context, t Task, timeout time.Duration) Result {
 	res := Result{Task: t}
-	if t.Solver == nil {
-		res.Err = errors.New("solver: batch task has nil solver")
-		return res
-	}
-	if t.Instance == nil {
-		res.Err = fmt.Errorf("solver: batch task for %s has nil instance", t.Solver.Name())
+	eng, req, err := t.normalize()
+	if err != nil {
+		res.Err = err
 		return res
 	}
 	tctx := ctx
@@ -159,29 +190,30 @@ func runTask(ctx context.Context, t Task, timeout time.Duration) Result {
 		defer cancel()
 	}
 	type outcome struct {
-		sol *core.Solution
+		rep Report
 		err error
 	}
 	ch := make(chan outcome, 1)
 	begin := time.Now()
 	go func() {
-		sol, err := t.Solver.Solve(tctx, t.Instance)
-		ch <- outcome{sol, err}
+		rep, err := eng.Solve(tctx, req)
+		ch <- outcome{rep, err}
 	}()
 	select {
 	case o := <-ch:
-		res.Solution, res.Err = o.sol, o.err
+		res.Report, res.Err = o.rep, o.err
 	case <-tctx.Done():
 		// The solve may have finished in the same instant the deadline
 		// fired; both select cases ready means a random pick, so drain
 		// the channel and prefer the real outcome for determinism.
 		select {
 		case o := <-ch:
-			res.Solution, res.Err = o.sol, o.err
+			res.Report, res.Err = o.rep, o.err
 		default:
 			res.Err = tctx.Err()
 		}
 	}
+	res.Solution = res.Report.Solution
 	res.Elapsed = time.Since(begin)
 	return res
 }

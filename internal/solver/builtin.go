@@ -2,7 +2,6 @@ package solver
 
 import (
 	"context"
-	"fmt"
 
 	"replicatree/internal/core"
 	"replicatree/internal/exact"
@@ -12,8 +11,8 @@ import (
 	"replicatree/internal/single"
 )
 
-// Built-in solver names. Every algorithm the repository implements is
-// registered here; consumers dispatch by name via Get/List.
+// Built-in engine names. Every algorithm the repository implements is
+// registered here; consumers dispatch by name via Lookup/List.
 const (
 	SingleGen      = "single-gen"      // Algorithm 1, (Δ+1)-approx, Single
 	SingleNoD      = "single-nod"      // Algorithm 2, 2-approx, Single-NoD
@@ -29,54 +28,91 @@ const (
 	LPRound        = "lp-round"        // LP relaxation support rounding, Multiple
 	HeteroGreedy   = "hetero-greedy"   // heterogeneous greedy at uniform capacity
 	HeteroExact    = "hetero-exact"    // heterogeneous exact at uniform capacity
+	Auto           = "auto"            // capability-driven portfolio over the registry
 )
 
-func init() {
-	MustRegister(Wrap(SingleGen, core.Single, single.Gen))
-	MustRegister(Wrap(SingleNoD, core.Single, requireNoD(SingleNoD, single.NoD)))
-	MustRegister(Wrap(SinglePassUp, core.Single, requireNoD(SinglePassUp, single.NoDPassUp)))
-	MustRegister(Wrap(SingleBest, core.Single, requireNoD(SingleBest, single.NoDBest)))
-	MustRegister(Wrap(SinglePushUp, core.Single, requireNoD(SinglePushUp, func(in *core.Instance) (*core.Solution, error) {
-		sol, err := single.NoD(in)
-		if err != nil {
-			return nil, err
-		}
-		return single.PushUp(in, sol), nil
-	})))
-	MustRegister(Wrap(MultipleBin, core.Multiple, multiple.Bin))
-	MustRegister(Wrap(MultipleLazy, core.Multiple, multiple.Lazy))
-	MustRegister(Wrap(MultipleBest, core.Multiple, multiple.Best))
-	MustRegister(Wrap(MultipleGreedy, core.Multiple, multiple.Greedy))
-	MustRegister(exactSolver(ExactSingle, core.Single, exact.SolveSingle))
-	MustRegister(exactSolver(ExactMultiple, core.Multiple, exact.SolveMultiple))
-	MustRegister(Wrap(LPRound, core.Multiple, lp.Placement))
-	MustRegister(Wrap(HeteroGreedy, core.Multiple, func(in *core.Instance) (*core.Solution, error) {
-		return hetero.Greedy(hetero.FromUniform(in))
-	}))
-	MustRegister(&funcSolver{name: HeteroExact, pol: core.Multiple, exact: true,
-		fn: func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
-			return hetero.Solve(hetero.FromUniform(in), BudgetFrom(ctx))
-		}})
-}
-
-// requireNoD guards the NoD-family solvers: they solve the relaxed
-// problem and their output has no dmax guarantee, so dispatching one
-// on a distance-constrained instance is a caller error, not a silent
-// near-miss.
-func requireNoD(name string, fn func(*core.Instance) (*core.Solution, error)) func(*core.Instance) (*core.Solution, error) {
-	return func(in *core.Instance) (*core.Solution, error) {
-		if !in.NoD() {
-			return nil, fmt.Errorf("solver %s: requires a NoD instance (dmax=%d is finite)", name, in.DMax)
-		}
-		return fn(in)
+// caps is a terse Capabilities constructor for the built-in table.
+func caps(name string, pol core.Policy, exact, dmax, het bool, cost CostClass, desc string) Capabilities {
+	return Capabilities{
+		Name: name, Policy: pol, Exact: exact,
+		SupportsDMax: dmax, Hetero: het, Cost: cost, Description: desc,
 	}
 }
 
-// exactSolver adapts the exact branch-and-bound solvers, threading the
-// work budget from the context (WithBudget) into exact.Options.
-func exactSolver(name string, pol core.Policy, fn func(*core.Instance, exact.Options) (*core.Solution, error)) Solver {
-	return &funcSolver{name: name, pol: pol, exact: true,
-		fn: func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
-			return fn(in, exact.Options{Budget: BudgetFrom(ctx)})
-		}}
+// plain adapts the repository's prevailing context-less algorithm
+// signature to an engine solve function (no work tracking).
+func plain(fn func(*core.Instance) (*core.Solution, error)) func(context.Context, Request) (*core.Solution, int64, error) {
+	return func(_ context.Context, req Request) (*core.Solution, int64, error) {
+		sol, err := fn(req.Instance)
+		return sol, 0, err
+	}
+}
+
+// exactFn adapts the exact branch-and-bound solvers, threading
+// Request.Budget into exact.Options and the consumed steps back into
+// Report.Work.
+func exactFn(fn func(*core.Instance, exact.Options) (*core.Solution, error)) func(context.Context, Request) (*core.Solution, int64, error) {
+	return func(_ context.Context, req Request) (*core.Solution, int64, error) {
+		var work int64
+		sol, err := fn(req.Instance, exact.Options{Budget: req.Budget, Work: &work})
+		return sol, work, err
+	}
+}
+
+func init() {
+	poly, expo := CostPolynomial, CostExponential
+	MustRegisterEngine(NewEngine(
+		caps(SingleGen, core.Single, false, true, false, poly, "Algorithm 1: greedy bottom-up, (Δ+1)-approximation"),
+		plain(single.Gen)))
+	MustRegisterEngine(NewEngine(
+		caps(SingleNoD, core.Single, false, false, false, poly, "Algorithm 2: 2-approximation for Single without distance bound"),
+		plain(single.NoD)))
+	MustRegisterEngine(NewEngine(
+		caps(SinglePassUp, core.Single, false, false, false, poly, "pass-up variant of Algorithm 2"),
+		plain(single.NoDPassUp)))
+	MustRegisterEngine(NewEngine(
+		caps(SingleBest, core.Single, false, false, false, poly, "min(single-nod, single-passup)"),
+		plain(single.NoDBest)))
+	MustRegisterEngine(NewEngine(
+		caps(SinglePushUp, core.Single, false, false, false, poly, "single-nod followed by the push-up post-pass"),
+		plain(func(in *core.Instance) (*core.Solution, error) {
+			sol, err := single.NoD(in)
+			if err != nil {
+				return nil, err
+			}
+			return single.PushUp(in, sol), nil
+		})))
+	MustRegisterEngine(NewEngine(
+		caps(MultipleBin, core.Multiple, false, true, false, poly, "Algorithm 3 (eager): optimal on binary trees with ri ≤ W"),
+		plain(multiple.Bin)))
+	MustRegisterEngine(NewEngine(
+		caps(MultipleLazy, core.Multiple, false, true, false, poly, "lazy variant of Algorithm 3"),
+		plain(multiple.Lazy)))
+	MustRegisterEngine(NewEngine(
+		caps(MultipleBest, core.Multiple, false, true, false, poly, "min(multiple-bin, multiple-lazy)"),
+		plain(multiple.Best)))
+	MustRegisterEngine(NewEngine(
+		caps(MultipleGreedy, core.Multiple, false, true, false, poly, "general-arity generalisation of Algorithm 3"),
+		plain(multiple.Greedy)))
+	MustRegisterEngine(NewEngine(
+		caps(ExactSingle, core.Single, true, true, false, expo, "optimal Single via branch-and-bound over assignments"),
+		exactFn(exact.SolveSingle)))
+	MustRegisterEngine(NewEngine(
+		caps(ExactMultiple, core.Multiple, true, true, false, expo, "optimal Multiple via set enumeration with a max-flow oracle"),
+		exactFn(exact.SolveMultiple)))
+	MustRegisterEngine(NewEngine(
+		caps(LPRound, core.Multiple, false, true, false, poly, "LP relaxation support rounding"),
+		plain(lp.Placement)))
+	MustRegisterEngine(NewEngine(
+		caps(HeteroGreedy, core.Multiple, false, true, true, poly, "heterogeneous greedy, run at uniform capacity"),
+		plain(func(in *core.Instance) (*core.Solution, error) {
+			return hetero.Greedy(hetero.FromUniform(in))
+		})))
+	MustRegisterEngine(NewEngine(
+		caps(HeteroExact, core.Multiple, true, true, true, expo, "heterogeneous exact search, run at uniform capacity"),
+		func(_ context.Context, req Request) (*core.Solution, int64, error) {
+			sol, err := hetero.Solve(hetero.FromUniform(req.Instance), req.Budget)
+			return sol, 0, err
+		}))
+	MustRegisterEngine(newAutoEngine())
 }

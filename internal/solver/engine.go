@@ -1,0 +1,300 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"replicatree/internal/core"
+)
+
+// This file is the v2 solver contract: a typed Request/Report pair
+// around a single Engine interface, plus the Capabilities document
+// every engine publishes through the registry. The v1 Solver contract
+// (solver.go) survives as a thin deprecated shim over it.
+
+// Want expresses a Request's access-policy constraint.
+type Want uint8
+
+const (
+	// AnyPolicy accepts whatever policy the engine solves.
+	AnyPolicy Want = iota
+	// WantSingle requires a solution obeying the Single policy.
+	WantSingle
+	// WantMultiple requires a solution obeying the Multiple policy.
+	// Single-policy solutions qualify too (Single is a restriction of
+	// Multiple), so WantMultiple admits every engine.
+	WantMultiple
+)
+
+// Allows reports whether an engine solving policy p can satisfy the
+// constraint.
+func (w Want) Allows(p core.Policy) bool {
+	switch w {
+	case WantSingle:
+		return p == core.Single
+	case WantMultiple:
+		// A Single-policy solution never splits a client, so it is
+		// feasible under Multiple's relaxed rules as well.
+		return true
+	default:
+		return true
+	}
+}
+
+// String implements fmt.Stringer.
+func (w Want) String() string {
+	switch w {
+	case WantSingle:
+		return "Single"
+	case WantMultiple:
+		return "Multiple"
+	default:
+		return "Any"
+	}
+}
+
+// Request is everything a caller can ask of an engine. The zero value
+// plus an Instance is a plain unconstrained solve; every other field
+// tightens or annotates it. It replaces the former idiom of optional
+// interfaces plus context-value smuggling (WithBudget).
+type Request struct {
+	// Instance is the problem to solve. Required.
+	Instance *core.Instance
+	// Policy constrains the access policy of the solution. The zero
+	// value (AnyPolicy) accepts the engine's native policy.
+	Policy Want
+	// Budget caps the elementary work of budget-aware (exact) engines;
+	// 0 keeps their default. It subsumes the deprecated WithBudget
+	// context idiom, which engines still honour as a fallback.
+	Budget int64
+	// Deadline, when non-zero, bounds the wall-clock time of the solve
+	// via the context.
+	Deadline time.Time
+	// Hints carries free-form engine-specific advice. Engines must
+	// ignore hints they do not understand. Recognised today:
+	// "no-lower-bound" (any value) skips the Report's lower-bound/gap
+	// computation on hot paths, and the auto engine's "exact" hint
+	// ("force"/"skip") overrides its size gate for exact candidates.
+	Hints map[string]string
+}
+
+// Hint returns the named hint, or "" when unset.
+func (r Request) Hint(name string) string {
+	return r.Hints[name]
+}
+
+// Report is the full outcome of one solve: the solution plus the
+// uniform quality metadata (bound, gap, optimality proof, work) that
+// consumers previously re-derived ad hoc.
+type Report struct {
+	// Solution is the verified-feasible placement.
+	Solution *core.Solution
+	// Policy is the access policy the solution obeys. For a portfolio
+	// engine this is the winning candidate's policy, which may be
+	// stricter than the engine's declared capability.
+	Policy core.Policy
+	// LowerBound is core.LowerBound of the instance; Gap is
+	// (replicas − LowerBound) / LowerBound, 0 when the bound is met or
+	// unavailable. Both are 0 under the "no-lower-bound" hint.
+	LowerBound int
+	Gap        float64
+	// Work counts the elementary search steps of budget-aware engines
+	// (node expansions / feasibility checks); 0 when not tracked.
+	Work int64
+	// Proved reports that the solution is provably optimal for the
+	// reported policy.
+	Proved bool
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+	// Engine names the engine that produced the solution — equal to
+	// the dispatched name except under the auto portfolio, which
+	// reports the winning candidate.
+	Engine string
+}
+
+// Engine is the v2 solver contract. Implementations must be safe for
+// concurrent use; Batch and the HTTP service call them from many
+// goroutines.
+type Engine interface {
+	Name() string
+	Capabilities() Capabilities
+	Solve(ctx context.Context, req Request) (Report, error)
+}
+
+// CostClass is the coarse complexity class of an engine, used by the
+// auto portfolio to decide which candidates are affordable.
+type CostClass uint8
+
+const (
+	// CostUnknown marks engines registered through the deprecated v1
+	// shim, which declares no cost.
+	CostUnknown CostClass = iota
+	// CostPolynomial engines are safe on instances of any size.
+	CostPolynomial
+	// CostExponential engines (branch-and-bound, set enumeration) are
+	// budget-bounded and only affordable on small instances.
+	CostExponential
+)
+
+// String implements fmt.Stringer.
+func (c CostClass) String() string {
+	switch c {
+	case CostPolynomial:
+		return "polynomial"
+	case CostExponential:
+		return "exponential"
+	default:
+		return "unknown"
+	}
+}
+
+// Capabilities is the registry's typed description of one engine. It
+// replaces the PolicyProvider/ExactProvider type-assertion dance: a
+// consumer reads one document instead of probing optional interfaces,
+// and a missing declaration is an explicit CostUnknown/zero field
+// rather than a silent default.
+type Capabilities struct {
+	// Name is the registry name.
+	Name string
+	// Policy is the access policy of the engine's solutions.
+	Policy core.Policy
+	// Exact engines return provably optimal solutions (within budget).
+	Exact bool
+	// SupportsDMax engines handle finite distance bounds; the NoD
+	// family does not and rejects distance-constrained instances.
+	SupportsDMax bool
+	// Hetero engines specialise in heterogeneous capacities (they
+	// accept uniform instances but duplicate the uniform engines, so
+	// portfolios skip them).
+	Hetero bool
+	// Cost is the engine's complexity class.
+	Cost CostClass
+	// Description is a one-line human summary for catalogues.
+	Description string
+}
+
+// engineCore is the shared implementation behind every built-in
+// engine: it validates the request, enforces the capability gates
+// (policy constraint, distance support), threads budget and deadline,
+// classifies failures onto the sentinel errors and fills the uniform
+// Report fields around the wrapped solve function.
+type engineCore struct {
+	caps Capabilities
+	// fn returns the solution plus the elementary work performed
+	// (0 when untracked). It sees the normalized request: Instance
+	// non-nil, Budget resolved against the deprecated context idiom.
+	fn func(ctx context.Context, req Request) (*core.Solution, int64, error)
+}
+
+// NewEngine wraps a solve function and its capability document as a
+// registrable Engine. The returned engine enforces the documented
+// gates, so fn can assume a non-nil instance that passed them.
+func NewEngine(caps Capabilities, fn func(ctx context.Context, req Request) (*core.Solution, int64, error)) Engine {
+	return &engineCore{caps: caps, fn: fn}
+}
+
+func (e *engineCore) Name() string               { return e.caps.Name }
+func (e *engineCore) Capabilities() Capabilities { return e.caps }
+func (e *engineCore) String() string             { return e.caps.Name }
+
+func (e *engineCore) Solve(ctx context.Context, req Request) (Report, error) {
+	begin := time.Now()
+	rep := Report{Engine: e.caps.Name, Policy: e.caps.Policy}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if req.Instance == nil {
+		return rep, fmt.Errorf("solver %s: nil instance", e.caps.Name)
+	}
+	if !req.Policy.Allows(e.caps.Policy) {
+		return rep, tag(fmt.Errorf("solver %s: solves %s, request requires %s",
+			e.caps.Name, e.caps.Policy, req.Policy), ErrPolicyUnsupported)
+	}
+	if !e.caps.SupportsDMax && !req.Instance.NoD() {
+		// Same text the requireNoD gate used pre-v2, now carrying the
+		// sentinel for typed handling.
+		return rep, tag(fmt.Errorf("solver %s: requires a NoD instance (dmax=%d is finite)",
+			e.caps.Name, req.Instance.DMax), ErrPolicyUnsupported)
+	}
+	if req.Budget <= 0 {
+		req.Budget = BudgetFrom(ctx) // deprecated context idiom, still honoured
+	}
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
+		// Re-check before dispatch: many wrapped algorithms run to
+		// completion without polling the context, so an already-expired
+		// deadline must fail fast here.
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+	}
+	sol, work, err := e.fn(ctx, req)
+	rep.Work = work
+	rep.Elapsed = time.Since(begin)
+	if err != nil {
+		if !req.Instance.Feasible(e.caps.Policy) {
+			err = tag(err, ErrInfeasible)
+		}
+		return rep, err
+	}
+	rep.Solution = sol
+	rep.Proved = e.caps.Exact
+	fillBound(&rep, req)
+	rep.Elapsed = time.Since(begin)
+	return rep, nil
+}
+
+// fillBound computes the uniform lower-bound/gap block of a successful
+// report, unless the request's "no-lower-bound" hint suppresses it.
+func fillBound(rep *Report, req Request) {
+	if rep.Solution == nil || req.Hint("no-lower-bound") != "" {
+		return
+	}
+	rep.LowerBound = core.LowerBound(req.Instance)
+	if rep.LowerBound > 0 {
+		rep.Gap = float64(rep.Solution.NumReplicas()-rep.LowerBound) / float64(rep.LowerBound)
+	}
+}
+
+// AsEngine adapts any v1 Solver to the Engine contract. Solvers
+// obtained from the registry unwrap back to their native engine;
+// foreign solvers are wrapped with capabilities derived from the
+// deprecated optional interfaces (Policy defaulting to Single, cost
+// unknown — the explicit spelling of what PolicyOf used to assume
+// silently).
+func AsEngine(s Solver) Engine {
+	if es, ok := s.(*engineSolver); ok {
+		return es.eng
+	}
+	return NewEngine(Capabilities{
+		Name:         s.Name(),
+		Policy:       PolicyOf(s),
+		Exact:        IsExact(s),
+		SupportsDMax: true,
+		Cost:         CostUnknown,
+		Description:  "externally registered v1 solver",
+	}, func(ctx context.Context, req Request) (*core.Solution, int64, error) {
+		// Re-smuggle the budget for solvers still reading BudgetFrom.
+		sol, err := s.Solve(WithBudget(ctx, req.Budget), req.Instance)
+		return sol, 0, err
+	})
+}
+
+// engineSolver adapts an Engine to the deprecated v1 Solver contract;
+// Get returns these so legacy consumers keep compiling.
+type engineSolver struct {
+	eng Engine
+}
+
+func (s *engineSolver) Name() string        { return s.eng.Name() }
+func (s *engineSolver) Policy() core.Policy { return s.eng.Capabilities().Policy }
+func (s *engineSolver) Exact() bool         { return s.eng.Capabilities().Exact }
+func (s *engineSolver) String() string      { return s.eng.Name() }
+
+func (s *engineSolver) Solve(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+	rep, err := s.eng.Solve(ctx, Request{Instance: in})
+	return rep.Solution, err
+}

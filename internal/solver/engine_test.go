@@ -1,0 +1,261 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/exact"
+	"replicatree/internal/tree"
+)
+
+// nodInstance / withDistanceInstance live in solver_test helpers; this
+// file adds the v2 contract coverage: capabilities, sentinel errors,
+// request constraints and the report block.
+
+// TestCapabilitiesPinned pins every built-in engine's declared
+// capability document — in particular that the v2 migration kept each
+// policy identical to what the v1 optional interfaces declared
+// (the PolicyOf fix: the default is now an explicit field, never a
+// silent fallback).
+func TestCapabilitiesPinned(t *testing.T) {
+	want := map[string]Capabilities{
+		SingleGen:      {Policy: core.Single, SupportsDMax: true, Cost: CostPolynomial},
+		SingleNoD:      {Policy: core.Single, Cost: CostPolynomial},
+		SinglePassUp:   {Policy: core.Single, Cost: CostPolynomial},
+		SingleBest:     {Policy: core.Single, Cost: CostPolynomial},
+		SinglePushUp:   {Policy: core.Single, Cost: CostPolynomial},
+		MultipleBin:    {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		MultipleLazy:   {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		MultipleBest:   {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		MultipleGreedy: {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		ExactSingle:    {Policy: core.Single, Exact: true, SupportsDMax: true, Cost: CostExponential},
+		ExactMultiple:  {Policy: core.Multiple, Exact: true, SupportsDMax: true, Cost: CostExponential},
+		LPRound:        {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		HeteroGreedy:   {Policy: core.Multiple, SupportsDMax: true, Hetero: true, Cost: CostPolynomial},
+		HeteroExact:    {Policy: core.Multiple, Exact: true, SupportsDMax: true, Hetero: true, Cost: CostExponential},
+		Auto:           {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+	}
+	for name, w := range want {
+		eng, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c := eng.Capabilities()
+		if c.Name != name {
+			t.Errorf("%s: capabilities name %q", name, c.Name)
+		}
+		if c.Policy != w.Policy || c.Exact != w.Exact || c.SupportsDMax != w.SupportsDMax ||
+			c.Hetero != w.Hetero || c.Cost != w.Cost {
+			t.Errorf("%s: capabilities %+v, want policy=%v exact=%v dmax=%v hetero=%v cost=%v",
+				name, c, w.Policy, w.Exact, w.SupportsDMax, w.Hetero, w.Cost)
+		}
+		if c.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		// The v1 shims must agree with the capability document, so the
+		// migration changed no consumer-visible metadata.
+		s := MustGet(name)
+		if PolicyOf(s) != c.Policy {
+			t.Errorf("%s: PolicyOf shim %v disagrees with capabilities %v", name, PolicyOf(s), c.Policy)
+		}
+		if IsExact(s) != c.Exact {
+			t.Errorf("%s: IsExact shim %v disagrees with capabilities %v", name, IsExact(s), c.Exact)
+		}
+	}
+	// The pin table must cover the whole built-in registry:
+	// registering a new engine without pinning it here is an error
+	// (sibling tests register throwaway "test-…" solvers, which are
+	// exempt).
+	for _, name := range List() {
+		if _, ok := want[name]; !ok && !strings.HasPrefix(name, "test-") {
+			t.Errorf("engine %q registered but not pinned here", name)
+		}
+	}
+}
+
+func TestLookupUnknownSolverSentinel(t *testing.T) {
+	_, err := Lookup("no-such-solver")
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("Lookup error %v does not wrap ErrUnknownSolver", err)
+	}
+	if !strings.Contains(err.Error(), SingleGen) {
+		t.Errorf("error should list the known set: %v", err)
+	}
+	// The deprecated Get shim carries the same sentinel and text.
+	_, gerr := Get("no-such-solver")
+	if !errors.Is(gerr, ErrUnknownSolver) || gerr.Error() != err.Error() {
+		t.Errorf("Get error diverged from Lookup: %v vs %v", gerr, err)
+	}
+}
+
+func TestNoDGateSentinelAndLegacyText(t *testing.T) {
+	in := withDistanceInstance(t)
+	_, err := MustLookup(SingleNoD).Solve(context.Background(), Request{Instance: in})
+	if !errors.Is(err, ErrPolicyUnsupported) {
+		t.Fatalf("NoD gate error %v does not wrap ErrPolicyUnsupported", err)
+	}
+	// The rendered message is the pre-v2 text, so /v1 error bodies are
+	// byte-identical.
+	want := "solver single-nod: requires a NoD instance (dmax=" // …d is finite)
+	if !strings.HasPrefix(err.Error(), want) {
+		t.Errorf("legacy gate text changed: %q", err.Error())
+	}
+}
+
+func TestPolicyConstraintSentinel(t *testing.T) {
+	in := nodInstance(t)
+	_, err := MustLookup(MultipleBin).Solve(context.Background(), Request{Instance: in, Policy: WantSingle})
+	if !errors.Is(err, ErrPolicyUnsupported) {
+		t.Fatalf("policy constraint error %v does not wrap ErrPolicyUnsupported", err)
+	}
+	// WantMultiple admits Single engines: their solutions never split
+	// a client, so they are Multiple-feasible by construction.
+	rep, err := MustLookup(SingleGen).Solve(context.Background(), Request{Instance: in, Policy: WantMultiple})
+	if err != nil {
+		t.Fatalf("WantMultiple rejected a Single engine: %v", err)
+	}
+	if err := core.Verify(in, core.Multiple, rep.Solution); err != nil {
+		t.Errorf("Single solution failed Multiple verification: %v", err)
+	}
+}
+
+// infeasibleInstance builds a one-client instance whose requests
+// exceed every capacity reachable within dmax: infeasible under both
+// policies.
+func infeasibleInstance(t *testing.T) *core.Instance {
+	t.Helper()
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	b.Client(root, 5, 10, "c") // distance 5 > dmax 1, r=10 > W
+	return &core.Instance{Tree: b.MustBuild(), W: 3, DMax: 1}
+}
+
+func TestInfeasibleSentinel(t *testing.T) {
+	in := infeasibleInstance(t)
+	for _, name := range []string{SingleGen, MultipleGreedy, ExactMultiple, Auto} {
+		_, err := MustLookup(name).Solve(context.Background(), Request{Instance: in})
+		if err == nil {
+			t.Fatalf("%s solved an infeasible instance", name)
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s error %v does not wrap ErrInfeasible", name, err)
+		}
+	}
+}
+
+func TestRequestBudgetStarvesExact(t *testing.T) {
+	in := nodInstance(t)
+	_, err := MustLookup(ExactMultiple).Solve(context.Background(), Request{Instance: in, Budget: 1})
+	if !errors.Is(err, exact.ErrBudget) {
+		t.Fatalf("starvation budget: err = %v, want exact.ErrBudget", err)
+	}
+	// A budget failure on a feasible instance must NOT read as
+	// infeasibility.
+	if errors.Is(err, ErrInfeasible) {
+		t.Error("budget exhaustion mis-tagged as ErrInfeasible")
+	}
+	// Request.Budget wins over nothing — but the deprecated context
+	// idiom still reaches engines when the request leaves it unset.
+	_, err = MustLookup(ExactMultiple).Solve(WithBudget(context.Background(), 1), Request{Instance: in})
+	if !errors.Is(err, exact.ErrBudget) {
+		t.Fatalf("context budget fallback lost: %v", err)
+	}
+}
+
+func TestReportBlock(t *testing.T) {
+	in := nodInstance(t)
+	rep, err := MustLookup(ExactSingle).Solve(context.Background(), Request{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != ExactSingle || rep.Policy != core.Single {
+		t.Errorf("report identity wrong: %+v", rep)
+	}
+	if !rep.Proved {
+		t.Error("exact engine did not mark its solution proved")
+	}
+	if rep.Work <= 0 {
+		t.Errorf("exact engine reported no work: %d", rep.Work)
+	}
+	if rep.LowerBound != core.LowerBound(in) {
+		t.Errorf("lower bound %d, core says %d", rep.LowerBound, core.LowerBound(in))
+	}
+	wantGap := float64(rep.Solution.NumReplicas()-rep.LowerBound) / float64(rep.LowerBound)
+	if rep.LowerBound > 0 && rep.Gap != wantGap {
+		t.Errorf("gap %v, want %v", rep.Gap, wantGap)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("report missing elapsed time")
+	}
+
+	// The no-lower-bound hint suppresses the bound block only.
+	rep2, err := MustLookup(SingleGen).Solve(context.Background(),
+		Request{Instance: in, Hints: map[string]string{"no-lower-bound": "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.LowerBound != 0 || rep2.Gap != 0 {
+		t.Errorf("hint did not suppress the bound block: %+v", rep2)
+	}
+	if rep2.Solution == nil {
+		t.Error("hint suppressed the solution too")
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	in := nodInstance(t)
+	_, err := MustLookup(SingleGen).Solve(context.Background(),
+		Request{Instance: in, Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestShimRoundTrip pins the adapter identities: Get's Solver shim
+// unwraps back to the registered engine, and repeated Gets return the
+// same shim (stable identity for consumers that compare).
+func TestShimRoundTrip(t *testing.T) {
+	eng := MustLookup(MultipleBest)
+	s1, s2 := MustGet(MultipleBest), MustGet(MultipleBest)
+	if s1 != s2 {
+		t.Error("Get returned distinct shims for one name")
+	}
+	if AsEngine(s1) != eng {
+		t.Error("AsEngine did not unwrap the shim to the registered engine")
+	}
+	// A foreign Solver adapts with explicit defaulted capabilities.
+	foreign := AsEngine(bareSolver{})
+	c := foreign.Capabilities()
+	if c.Policy != core.Single || c.Exact || c.Cost != CostUnknown {
+		t.Errorf("foreign solver capabilities %+v, want explicit Single/heuristic/unknown", c)
+	}
+}
+
+// TestBatchReportsFlow pins that Batch fills both the v2 Report and
+// the mirrored v1 Solution on every result.
+func TestBatchReportsFlow(t *testing.T) {
+	in := nodInstance(t)
+	tasks := []Task{
+		{ID: "v2", Engine: MustLookup(MultipleBest), Request: Request{Instance: in}},
+		{ID: "v1", Solver: MustGet(MultipleBest), Instance: in},
+	}
+	results, st := Batch(context.Background(), tasks, Options{})
+	if st.Solved != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	for _, r := range results {
+		if r.Report.Solution == nil || r.Solution != r.Report.Solution {
+			t.Errorf("task %s: solution mirror broken: %+v", r.Task.ID, r)
+		}
+		if r.Report.Engine != MultipleBest {
+			t.Errorf("task %s: report engine %q", r.Task.ID, r.Report.Engine)
+		}
+	}
+	if a, b := results[0].Report.Solution.NumReplicas(), results[1].Report.Solution.NumReplicas(); a != b {
+		t.Errorf("v1 and v2 task forms disagree: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,39 @@
+package solver
+
+import "errors"
+
+// Sentinel errors of the v2 API. Engines and the registry wrap them
+// with context, so classify with errors.Is rather than string
+// matching; the HTTP service maps each to a dedicated status.
+var (
+	// ErrUnknownSolver: the requested name is not in the registry
+	// (HTTP 404).
+	ErrUnknownSolver = errors.New("solver: unknown solver")
+	// ErrPolicyUnsupported: the engine cannot satisfy the request's
+	// constraints — a policy it does not solve, or a distance-bounded
+	// instance handed to a NoD-only engine (HTTP 422).
+	ErrPolicyUnsupported = errors.New("solver: request unsupported by engine")
+	// ErrInfeasible: the instance admits no solution under the
+	// engine's policy; no solver choice can help (HTTP 422).
+	ErrInfeasible = errors.New("solver: instance infeasible")
+)
+
+// taggedError attaches a sentinel to an underlying error without
+// changing its rendered message: Error() is the legacy text verbatim
+// (keeping /v1 response bodies byte-identical), while errors.Is sees
+// both the original chain and the sentinel.
+type taggedError struct {
+	err      error
+	sentinel error
+}
+
+func (t *taggedError) Error() string   { return t.err.Error() }
+func (t *taggedError) Unwrap() []error { return []error{t.err, t.sentinel} }
+
+// tag wraps err with sentinel unless it already carries it.
+func tag(err, sentinel error) error {
+	if err == nil || errors.Is(err, sentinel) {
+		return err
+	}
+	return &taggedError{err: err, sentinel: sentinel}
+}

@@ -7,64 +7,101 @@ import (
 	"sync"
 )
 
-// The registry maps solver names to implementations. Built-in solvers
-// register at package init; extensions may Register more (a sharded
-// backend, a cached front, a new policy) without touching consumers.
+// The registry maps engine names to implementations plus their
+// capability documents. Built-in engines register at package init;
+// extensions may RegisterEngine more (a sharded backend, a cached
+// front, a new policy) without touching consumers.
 var (
 	regMu    sync.RWMutex
-	registry = make(map[string]Solver)
+	registry = make(map[string]*regEntry)
 )
 
-// Register adds a solver under its name. Empty names, nil solvers and
-// duplicate names are rejected: a silent overwrite would let two
-// packages fight over a name and make golden results unreproducible.
-func Register(s Solver) error {
-	if s == nil {
-		return fmt.Errorf("solver: Register(nil)")
+// regEntry pairs an engine with its lazily shared v1 shim, so Get
+// returns a stable Solver identity for a given name.
+type regEntry struct {
+	eng  Engine
+	shim *engineSolver
+}
+
+// RegisterEngine adds an engine under its name. Empty names, nil
+// engines and duplicate names are rejected: a silent overwrite would
+// let two packages fight over a name and make golden results
+// unreproducible.
+func RegisterEngine(e Engine) error {
+	if e == nil {
+		return fmt.Errorf("solver: RegisterEngine(nil)")
 	}
-	name := s.Name()
+	name := e.Name()
 	if name == "" {
 		return fmt.Errorf("solver: Register with empty name")
+	}
+	if caps := e.Capabilities(); caps.Name != name {
+		return fmt.Errorf("solver: engine %q declares capabilities for %q", name, caps.Name)
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
 		return fmt.Errorf("solver: duplicate registration of %q", name)
 	}
-	registry[name] = s
+	registry[name] = &regEntry{eng: e, shim: &engineSolver{eng: e}}
 	return nil
 }
 
-// MustRegister is Register for init-time use; it panics on error.
-func MustRegister(s Solver) {
-	if err := Register(s); err != nil {
+// MustRegisterEngine is RegisterEngine for init-time use; it panics on
+// error.
+func MustRegisterEngine(e Engine) {
+	if err := RegisterEngine(e); err != nil {
 		panic(err)
 	}
 }
 
-// Get returns the solver registered under name. The error of an
-// unknown name lists the registered set, so CLI typos are
-// self-diagnosing.
-func Get(name string) (Solver, error) {
+// Lookup returns the engine registered under name. The error wraps
+// ErrUnknownSolver and lists the registered set, so CLI typos are
+// self-diagnosing and services can map it to 404 with errors.Is.
+func Lookup(name string) (Engine, error) {
 	regMu.RLock()
-	s, ok := registry[name]
+	entry, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(List(), ", "))
+		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownSolver, name, strings.Join(List(), ", "))
 	}
-	return s, nil
+	return entry.eng, nil
 }
 
-// MustGet is Get for names the caller knows are built-in.
-func MustGet(name string) Solver {
-	s, err := Get(name)
+// MustLookup is Lookup for names the caller knows are built-in.
+func MustLookup(name string) Engine {
+	e, err := Lookup(name)
 	if err != nil {
 		panic(err)
 	}
-	return s
+	return e
 }
 
-// List returns the registered solver names, sorted.
+// Engines returns the registered engines in List() order.
+func Engines() []Engine {
+	names := List()
+	out := make([]Engine, len(names))
+	regMu.RLock()
+	for i, name := range names {
+		out[i] = registry[name].eng
+	}
+	regMu.RUnlock()
+	return out
+}
+
+// Catalog returns every registered engine's capability document in
+// List() order — the typed replacement for probing PolicyProvider /
+// ExactProvider per solver.
+func Catalog() []Capabilities {
+	engines := Engines()
+	out := make([]Capabilities, len(engines))
+	for i, e := range engines {
+		out[i] = e.Capabilities()
+	}
+	return out
+}
+
+// List returns the registered engine names, sorted.
 func List() []string {
 	regMu.RLock()
 	names := make([]string, 0, len(registry))
@@ -76,13 +113,64 @@ func List() []string {
 	return names
 }
 
-// Solvers returns the registered solvers in List() order.
+// Register adds a v1 Solver under its name, deriving its capability
+// document from the deprecated optional interfaces.
+//
+// Deprecated: implement Engine and use RegisterEngine, which makes
+// the policy, cost class and distance support explicit.
+func Register(s Solver) error {
+	if s == nil {
+		return fmt.Errorf("solver: Register(nil)")
+	}
+	if s.Name() == "" {
+		return fmt.Errorf("solver: Register with empty name")
+	}
+	return RegisterEngine(AsEngine(s))
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+//
+// Deprecated: use MustRegisterEngine.
+func MustRegister(s Solver) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the solver registered under name as a v1 Solver shim.
+//
+// Deprecated: use Lookup; the returned Engine's Report carries the
+// bound/gap/proof metadata this shim discards.
+func Get(name string) (Solver, error) {
+	regMu.RLock()
+	entry, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownSolver, name, strings.Join(List(), ", "))
+	}
+	return entry.shim, nil
+}
+
+// MustGet is Get for names the caller knows are built-in.
+//
+// Deprecated: use MustLookup.
+func MustGet(name string) Solver {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Solvers returns the registered solvers as v1 shims in List() order.
+//
+// Deprecated: use Engines or Catalog.
 func Solvers() []Solver {
 	names := List()
 	out := make([]Solver, len(names))
 	regMu.RLock()
 	for i, name := range names {
-		out[i] = registry[name]
+		out[i] = registry[name].shim
 	}
 	regMu.RUnlock()
 	return out

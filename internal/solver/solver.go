@@ -4,12 +4,17 @@
 // heterogeneous solvers — behind one contract, one registry and one
 // parallel batch runner.
 //
-// The contract is deliberately minimal: a Solver has a name and turns
-// a core.Instance into a core.Solution. Everything a consumer needs
-// beyond that (which access policy the solution obeys, whether the
-// solver is exact) is exposed as registry metadata, so CLI tools,
-// experiment sweeps, golden tests and benchmarks can all dispatch by
-// name instead of hard-coding call signatures.
+// The contract (v2) is a typed request/response pair: an Engine turns
+// a Request (instance + policy constraint + budget + deadline + hints)
+// into a Report (solution + lower bound + gap + work + optimality
+// proof), and publishes a Capabilities document through the registry
+// so consumers select engines by declared properties instead of
+// type-asserting optional interfaces. The "auto" engine is a
+// capability-driven portfolio over the whole registry.
+//
+// The original minimal contract — Solver, PolicyOf/IsExact and the
+// WithBudget context idiom — survives in this file as a deprecated
+// shim layer over the engines; see DESIGN.md for the migration table.
 package solver
 
 import (
@@ -19,30 +24,38 @@ import (
 	"replicatree/internal/core"
 )
 
-// Solver is the common contract every algorithm adapter implements.
+// Solver is the deprecated v1 contract: a name and a bare solve.
+//
+// Deprecated: implement or consume Engine instead; Request/Report
+// carry everything this interface and its optional companions spread
+// over type assertions and context values.
 type Solver interface {
 	Name() string
 	Solve(ctx context.Context, in *core.Instance) (*core.Solution, error)
 }
 
-// PolicyProvider is implemented by solvers that know which access
-// policy their solutions obey. All built-in solvers implement it;
-// consumers should use PolicyOf rather than type-asserting directly.
+// PolicyProvider is implemented by v1 solvers that know which access
+// policy their solutions obey.
+//
+// Deprecated: read Capabilities.Policy from the engine instead.
 type PolicyProvider interface {
 	Policy() core.Policy
 }
 
-// ExactProvider is implemented by solvers that return a provably
+// ExactProvider is implemented by v1 solvers that return a provably
 // optimal solution (possibly within a work budget).
+//
+// Deprecated: read Capabilities.Exact from the engine instead.
 type ExactProvider interface {
 	Exact() bool
 }
 
 // PolicyOf returns the access policy of s, defaulting to Single for
-// solvers that do not declare one (Single solutions are the
-// conservative choice: they verify under both policies' feasibility
-// rules only when unsplit, so a solver without metadata should be
-// treated as the stricter policy it claims nothing about).
+// solvers that do not declare one. The default is silent — the exact
+// trap Capabilities removes: an engine's Capabilities.Policy is always
+// an explicit declaration, never a fallback.
+//
+// Deprecated: use Engine.Capabilities().Policy.
 func PolicyOf(s Solver) core.Policy {
 	if p, ok := s.(PolicyProvider); ok {
 		return p.Policy()
@@ -51,6 +64,8 @@ func PolicyOf(s Solver) core.Policy {
 }
 
 // IsExact reports whether s declares itself an exact solver.
+//
+// Deprecated: use Engine.Capabilities().Exact.
 func IsExact(s Solver) bool {
 	if e, ok := s.(ExactProvider); ok {
 		return e.Exact()
@@ -58,7 +73,8 @@ func IsExact(s Solver) bool {
 	return false
 }
 
-// funcSolver adapts a plain function to the Solver contract.
+// funcSolver adapts a plain function to the deprecated Solver
+// contract, carrying the metadata the old optional interfaces expose.
 type funcSolver struct {
 	name  string
 	pol   core.Policy
@@ -82,14 +98,17 @@ func (s *funcSolver) Solve(ctx context.Context, in *core.Instance) (*core.Soluti
 
 func (s *funcSolver) String() string { return s.name }
 
-// New wraps a context-aware solve function as a Solver.
+// New wraps a context-aware solve function as a v1 Solver.
+//
+// Deprecated: use NewEngine with an explicit Capabilities document.
 func New(name string, pol core.Policy, fn func(context.Context, *core.Instance) (*core.Solution, error)) Solver {
 	return &funcSolver{name: name, pol: pol, fn: fn}
 }
 
 // Wrap adapts the repository's prevailing context-less algorithm
-// signature. The context is still honoured between Batch tasks and on
-// entry; the wrapped function itself runs to completion.
+// signature to the v1 Solver contract.
+//
+// Deprecated: use NewEngine with an explicit Capabilities document.
 func Wrap(name string, pol core.Policy, fn func(*core.Instance) (*core.Solution, error)) Solver {
 	return &funcSolver{name: name, pol: pol, fn: func(_ context.Context, in *core.Instance) (*core.Solution, error) {
 		return fn(in)
@@ -97,11 +116,14 @@ func Wrap(name string, pol core.Policy, fn func(*core.Instance) (*core.Solution,
 }
 
 // budgetKey carries the work budget for exact solvers through the
-// context, so budgeted and unbudgeted callers share one dispatch path.
+// context — the v1 smuggling idiom Request.Budget replaces.
 type budgetKey struct{}
 
 // WithBudget returns a context that instructs exact solvers to cap
 // their search at the given work budget (0 keeps their default).
+//
+// Deprecated: set Request.Budget instead. Engines keep honouring the
+// context value as a fallback so v1 callers behave unchanged.
 func WithBudget(ctx context.Context, budget int64) context.Context {
 	if budget <= 0 {
 		return ctx
@@ -110,6 +132,9 @@ func WithBudget(ctx context.Context, budget int64) context.Context {
 }
 
 // BudgetFrom extracts the work budget from ctx, or 0 if unset.
+//
+// Deprecated: read Request.Budget; engines resolve the context
+// fallback themselves.
 func BudgetFrom(ctx context.Context) int64 {
 	if b, ok := ctx.Value(budgetKey{}).(int64); ok {
 		return b
