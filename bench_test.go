@@ -616,3 +616,49 @@ func BenchmarkE13_ConjectureProbe(b *testing.B) {
 		}
 	}
 }
+
+// benchWarmSolve measures Engine.Solve on a ~200-node binary instance
+// through the public seam, cold (fresh heap per solve) or warm
+// (scratch-backed session buffers, zero allocations once ingested).
+// The cold/warm pairs are the recorded trajectory of BENCH_006.json
+// (cmd/benchrec runs the same shapes).
+func benchWarmSolve(b *testing.B, name string, warm bool) {
+	rng := rand.New(rand.NewSource(97))
+	eng := solver.MustLookup(name)
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 150, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+	}, eng.Capabilities().SupportsDMax)
+	if in.W < in.Tree.MaxRequests() {
+		in.W = in.Tree.MaxRequests()
+	}
+	req := solver.Request{Instance: in}
+	if warm {
+		req.Scratch = solver.NewScratch()
+	}
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, req); err != nil { // ingest + grow buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Solve(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Solution == nil {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkWarmSingleGenCold(b *testing.B)      { benchWarmSolve(b, solver.SingleGen, false) }
+func BenchmarkWarmSingleGenWarm(b *testing.B)      { benchWarmSolve(b, solver.SingleGen, true) }
+func BenchmarkWarmSingleNoDCold(b *testing.B)      { benchWarmSolve(b, solver.SingleNoD, false) }
+func BenchmarkWarmSingleNoDWarm(b *testing.B)      { benchWarmSolve(b, solver.SingleNoD, true) }
+func BenchmarkWarmMultipleBinCold(b *testing.B)    { benchWarmSolve(b, solver.MultipleBin, false) }
+func BenchmarkWarmMultipleBinWarm(b *testing.B)    { benchWarmSolve(b, solver.MultipleBin, true) }
+func BenchmarkWarmMultipleGreedyCold(b *testing.B) { benchWarmSolve(b, solver.MultipleGreedy, false) }
+func BenchmarkWarmMultipleGreedyWarm(b *testing.B) { benchWarmSolve(b, solver.MultipleGreedy, true) }
+func BenchmarkWarmLPRoundCold(b *testing.B)        { benchWarmSolve(b, solver.LPRound, false) }
+func BenchmarkWarmLPRoundWarm(b *testing.B)        { benchWarmSolve(b, solver.LPRound, true) }

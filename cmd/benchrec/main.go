@@ -1,0 +1,189 @@
+// Command benchrec records the cold-vs-warm solve benchmark
+// trajectory as a machine-readable JSON document. It runs the same
+// shapes as the BenchmarkWarm* series in bench_test.go — Engine.Solve
+// on a ~200-node binary instance, once allocating per solve (cold)
+// and once on scratch-backed session buffers (warm) — via
+// testing.Benchmark, and writes ns/op, B/op and allocs/op per
+// (engine, mode) pair.
+//
+// The committed BENCH_006.json at the repository root is a recorded
+// run of this command; CI re-runs it on every push and uploads the
+// fresh document as a build artifact, so the trajectory of the
+// zero-alloc hot path stays observable over time without gating merges
+// on machine-dependent numbers.
+//
+// Usage:
+//
+//	benchrec                  # writes BENCH_006.json
+//	benchrec -o out.json      # custom output path
+//	benchrec -benchtime 200ms # faster, noisier (CI smoke uses this)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/gen"
+	"replicatree/internal/solver"
+)
+
+// Schema identifies the document layout for downstream tooling.
+const Schema = "replicatree-bench/v1"
+
+// warmEngines is the scratch-capable engine set (mirrors the
+// TestAllocs gate in warm_test.go).
+var warmEngines = []string{
+	solver.SingleGen,
+	solver.SingleNoD,
+	solver.MultipleBin,
+	solver.MultipleLazy,
+	solver.MultipleBest,
+	solver.MultipleGreedy,
+	solver.LPRound,
+}
+
+// Document is the recorded benchmark file.
+type Document struct {
+	Schema   string   `json:"schema"`
+	Go       string   `json:"go"`
+	GOOS     string   `json:"goos"`
+	GOARCH   string   `json:"goarch"`
+	Instance Shape    `json:"instance"`
+	Results  []Result `json:"results"`
+}
+
+// Shape describes the benchmark instance.
+type Shape struct {
+	Nodes   int   `json:"nodes"`
+	Clients int   `json:"clients"`
+	W       int64 `json:"w"`
+	DMax    int64 `json:"dmax,omitempty"` // omitted on the NoD twin
+}
+
+// Result is one (engine, mode) measurement.
+type Result struct {
+	Engine      string  `json:"engine"`
+	Mode        string  `json:"mode"` // "cold" | "warm"
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+}
+
+// benchInstance is the ~200-node binary instance of the BenchmarkWarm*
+// series: seed 97, binary so multiple-bin applies, W ≥ max rᵢ so the
+// Multiple preconditions hold.
+func benchInstance(withDistance bool) *core.Instance {
+	rng := rand.New(rand.NewSource(97))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 150, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+	}, withDistance)
+	if in.W < in.Tree.MaxRequests() {
+		in.W = in.Tree.MaxRequests()
+	}
+	return in
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrec", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_006.json", "output path ('-' for stdout)")
+	benchtime := fs.Duration("benchtime", time.Second, "target run time per (engine, mode) measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark reads the test.benchtime flag that `go test`
+	// normally registers; in a plain binary the testing flags must be
+	// installed explicitly first.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+
+	dist := benchInstance(true)
+	doc := Document{
+		Schema: Schema,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Instance: Shape{
+			Nodes:   dist.Tree.Len(),
+			Clients: len(dist.Tree.Clients()),
+			W:       dist.W,
+			DMax:    dist.DMax,
+		},
+	}
+	ctx := context.Background()
+	for _, name := range warmEngines {
+		eng, err := solver.Lookup(name)
+		if err != nil {
+			return err
+		}
+		in := dist
+		if !eng.Capabilities().SupportsDMax {
+			in = benchInstance(false)
+		}
+		for _, mode := range []string{"cold", "warm"} {
+			req := solver.Request{Instance: in}
+			if mode == "warm" {
+				req.Scratch = solver.NewScratch()
+			}
+			if _, err := eng.Solve(ctx, req); err != nil { // ingest + grow buffers
+				return fmt.Errorf("%s %s: %v", name, mode, err)
+			}
+			var solveErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rep, err := eng.Solve(ctx, req)
+					if err != nil {
+						solveErr = err
+						b.FailNow()
+					}
+					if rep.Solution == nil {
+						solveErr = fmt.Errorf("empty report")
+						b.FailNow()
+					}
+				}
+			})
+			if solveErr != nil {
+				return fmt.Errorf("%s %s: %v", name, mode, solveErr)
+			}
+			doc.Results = append(doc.Results, Result{
+				Engine:      name,
+				Mode:        mode,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%-16s %-4s %12.0f ns/op %8d B/op %6d allocs/op\n",
+				name, mode, doc.Results[len(doc.Results)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}

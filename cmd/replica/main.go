@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"replicatree/internal/core"
 	"replicatree/internal/multiple"
@@ -46,8 +48,37 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	pushup := fs.Bool("pushup", false, "apply the push-up post-pass (Single policy only)")
 	latency := fs.Bool("latency", false, "re-route assignments for minimal total distance (Multiple policy only)")
 	budget := fs.Int64("budget", 0, "work budget for exact solvers (0 = default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after the solve) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on every exit path so a failed solve still leaves a
+		// usable profile of what it allocated.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "replica: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "replica: memprofile:", err)
+			}
+		}()
 	}
 	if *name == "" {
 		*name = *algo

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	jobWorkers := fs.Int("job-workers", 2, "concurrently running batch jobs")
 	jobQueue := fs.Int("job-queue", 64, "queued batch jobs before /v1/batch returns 503")
 	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiles reveal internals, never enable on untrusted networks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,8 +64,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "replicad: listening on http://%s (%d solvers, cache=%d)\n",
 		ln.Addr(), len(solver.List()), *cacheSize)
 
+	handler := http.Handler(srv)
+	if *withPprof {
+		// The profiling handlers are mounted on an outer mux so the
+		// service mux (and its /metrics counters) never sees them.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(stdout, "replicad: pprof enabled at /debug/pprof/")
+	}
+
 	hs := &http.Server{
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -1,0 +1,10 @@
+//go:build !race && !msan && !asan
+
+package replicatree_test
+
+import "testing"
+
+// skipIfInstrumented is a no-op in plain builds; the instrumented
+// variant (instrumented_on_test.go) skips the allocation gate, whose
+// zero-alloc invariant does not survive sanitizer bookkeeping.
+func skipIfInstrumented(*testing.T) {}

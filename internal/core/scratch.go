@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// Scratch owns the working arrays of the allocation-free variants of
+// the core helpers (LowerBound, Verify). It operates on the Flat (SoA)
+// twin of an instance's tree: every per-node table is a dense slice
+// indexed by NodeID, grown once and reused across solves. A Scratch is
+// not safe for concurrent use; the solver seam pools whole sessions,
+// each owning one Scratch.
+type Scratch struct {
+	capped, inside, need []int64 // LowerBound tables
+	served, loads        []int64 // Verify tables
+	isReplica            []bool
+	firstServer          []tree.NodeID
+}
+
+func (sc *Scratch) grow(n int) {
+	sc.capped = grow64(sc.capped, n)
+	sc.inside = grow64(sc.inside, n)
+	sc.need = grow64(sc.need, n)
+	sc.served = grow64(sc.served, n)
+	sc.loads = grow64(sc.loads, n)
+	if cap(sc.isReplica) < n {
+		sc.isReplica = make([]bool, n)
+	}
+	sc.isReplica = sc.isReplica[:n]
+	if cap(sc.firstServer) < n {
+		sc.firstServer = make([]tree.NodeID, n)
+	}
+	sc.firstServer = sc.firstServer[:n]
+}
+
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// LowerBound computes exactly LowerBound(in) against f, the flat twin
+// of in.Tree, without heap allocations once the scratch has grown to
+// the instance size.
+func (sc *Scratch) LowerBound(f *tree.Flat, in *Instance) int {
+	n := f.Len()
+	sc.grow(n)
+	capped := sc.capped
+	clear(capped)
+	root := f.Root()
+	for j := 0; j < n; j++ {
+		id := tree.NodeID(j)
+		if !f.IsClient(id) {
+			continue
+		}
+		r := f.Reqs[j]
+		if r == 0 {
+			continue
+		}
+		var d int64
+		h := id
+		for h != root {
+			nd := tree.SatAdd(d, f.Dist(h))
+			if nd > in.DMax {
+				break
+			}
+			d = nd
+			h = f.Parents[h]
+		}
+		capped[h] += r
+	}
+	inside, need := sc.inside, sc.need
+	for _, j := range f.Post {
+		sum := capped[j]
+		var childNeed int64
+		for c := f.FirstChild[j]; c != tree.None; c = f.NextSibling[c] {
+			sum += inside[c]
+			childNeed += need[c]
+		}
+		inside[j] = sum
+		nn := CeilDiv(sum, in.W)
+		if childNeed > nn {
+			nn = childNeed
+		}
+		need[j] = nn
+	}
+	return int(need[root])
+}
+
+// Verify checks feasibility of sol like Verify, against f, the flat
+// twin of in.Tree. Unlike the package-level Verify it does not
+// re-validate the instance — the caller guarantees a validated
+// instance (the session validates once at ingest) — and it performs no
+// heap allocations when the solution is feasible. Errors wrap the same
+// sentinels as Verify (errors only occur on infeasible solutions,
+// where allocating the message is fine).
+func (sc *Scratch) Verify(f *tree.Flat, in *Instance, pol Policy, sol *Solution) error {
+	n := f.Len()
+	sc.grow(n)
+	isReplica := sc.isReplica
+	clear(isReplica)
+	for _, r := range sol.Replicas {
+		if r < 0 || int(r) >= n {
+			return fmt.Errorf("%w: replica node %d out of range", ErrStructure, r)
+		}
+		if isReplica[r] {
+			return fmt.Errorf("%w: duplicate replica %d", ErrStructure, r)
+		}
+		isReplica[r] = true
+	}
+
+	served, loads, firstServer := sc.served, sc.loads, sc.firstServer
+	clear(served)
+	clear(loads)
+	for i := range firstServer {
+		firstServer[i] = tree.None
+	}
+	root := f.Root()
+	for _, a := range sol.Assignments {
+		if a.Client < 0 || int(a.Client) >= n || a.Server < 0 || int(a.Server) >= n {
+			return fmt.Errorf("%w: assignment %+v references invalid node", ErrStructure, a)
+		}
+		if !f.IsClient(a.Client) {
+			return fmt.Errorf("%w: assignment source %d is not a client", ErrStructure, a.Client)
+		}
+		if a.Amount <= 0 {
+			return fmt.Errorf("%w: non-positive amount in %+v", ErrStructure, a)
+		}
+		if !isReplica[a.Server] {
+			return fmt.Errorf("%w: assignment to non-replica node %d", ErrStructure, a.Server)
+		}
+		var d int64
+		h := a.Client
+		for h != a.Server {
+			if h == root {
+				return fmt.Errorf("%w: server %d is not on the path of client %d", ErrDistance, a.Server, a.Client)
+			}
+			d = tree.SatAdd(d, f.EdgeLens[h])
+			h = f.Parents[h]
+		}
+		if d > in.DMax {
+			return fmt.Errorf("%w: client %d served by %d at distance %d > dmax %d",
+				ErrDistance, a.Client, a.Server, d, in.DMax)
+		}
+		served[a.Client] += a.Amount
+		loads[a.Server] += a.Amount
+		if pol == Single {
+			if prev := firstServer[a.Client]; prev != tree.None && prev != a.Server {
+				return fmt.Errorf("%w: client %d served by both %d and %d under Single",
+					ErrPolicy, a.Client, prev, a.Server)
+			}
+			firstServer[a.Client] = a.Server
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		id := tree.NodeID(j)
+		if !f.IsClient(id) {
+			continue
+		}
+		if served[j] != f.Reqs[j] {
+			return fmt.Errorf("%w: client %d served %d of %d requests", ErrCoverage, id, served[j], f.Reqs[j])
+		}
+	}
+	for j := 0; j < n; j++ {
+		if loads[j] > in.W {
+			return fmt.Errorf("%w: server %d load %d > W %d", ErrCapacity, tree.NodeID(j), loads[j], in.W)
+		}
+	}
+	return nil
+}

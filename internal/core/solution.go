@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -75,33 +76,39 @@ func (s *Solution) Servers(i tree.NodeID) []tree.NodeID {
 
 // Normalize sorts and deduplicates the replica list, merges duplicate
 // (client, server) assignments and drops zero-amount entries. All
-// algorithms call it before returning.
+// algorithms call it before returning. It works in place and performs
+// no heap allocations, so it is safe on the warm solve path.
 func (s *Solution) Normalize() {
-	sort.Slice(s.Replicas, func(a, b int) bool { return s.Replicas[a] < s.Replicas[b] })
+	slices.Sort(s.Replicas)
 	s.Replicas = dedupIDs(s.Replicas)
 
-	type key struct{ c, srv tree.NodeID }
-	merged := make(map[key]int64, len(s.Assignments))
-	order := make([]key, 0, len(s.Assignments))
-	for _, a := range s.Assignments {
-		k := key{a.Client, a.Server}
-		if _, ok := merged[k]; !ok {
-			order = append(order, k)
+	// The output is fully determined by the multiset of entries: sort
+	// by (client, server), then merge adjacent runs in place.
+	slices.SortFunc(s.Assignments, func(a, b Assignment) int {
+		if a.Client != b.Client {
+			return int(a.Client) - int(b.Client)
 		}
-		merged[k] += a.Amount
-	}
-	out := s.Assignments[:0]
-	for _, k := range order {
-		if amt := merged[k]; amt != 0 {
-			out = append(out, Assignment{Client: k.c, Server: k.srv, Amount: amt})
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Client != out[b].Client {
-			return out[a].Client < out[b].Client
-		}
-		return out[a].Server < out[b].Server
+		return int(a.Server) - int(b.Server)
 	})
+	out := s.Assignments[:0]
+	for i := 0; i < len(s.Assignments); {
+		j := i + 1
+		amt := s.Assignments[i].Amount
+		for j < len(s.Assignments) &&
+			s.Assignments[j].Client == s.Assignments[i].Client &&
+			s.Assignments[j].Server == s.Assignments[i].Server {
+			amt += s.Assignments[j].Amount
+			j++
+		}
+		if amt != 0 {
+			out = append(out, Assignment{
+				Client: s.Assignments[i].Client,
+				Server: s.Assignments[i].Server,
+				Amount: amt,
+			})
+		}
+		i = j
+	}
 	s.Assignments = out
 }
 

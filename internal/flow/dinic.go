@@ -6,7 +6,10 @@
 package flow
 
 // Network is a directed flow network under construction. Nodes are
-// dense ints; add edges with AddEdge, then call MaxFlow.
+// dense ints; add edges with AddEdge, then call MaxFlow. A Network can
+// be recycled with Reset, which keeps the grown arc and traversal
+// buffers — repeated builds of same-shape networks then allocate
+// nothing.
 type Network struct {
 	n     int
 	head  []int32 // head[v]: first arc index of v, -1 if none
@@ -15,15 +18,30 @@ type Network struct {
 	cap   []int64
 	level []int32
 	iter  []int32
+	queue []int32
 }
 
 // NewNetwork returns a network with n nodes and no arcs.
 func NewNetwork(n int) *Network {
-	h := make([]int32, n)
-	for i := range h {
-		h[i] = -1
+	g := &Network{}
+	g.Reset(n)
+	return g
+}
+
+// Reset reinitialises the network to n nodes and no arcs, reusing all
+// previously grown buffers.
+func (g *Network) Reset(n int) {
+	g.n = n
+	if cap(g.head) < n {
+		g.head = make([]int32, n)
 	}
-	return &Network{n: n, head: h}
+	g.head = g.head[:n]
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.next = g.next[:0]
 }
 
 // AddEdge adds a directed edge u→v with the given capacity (and the
@@ -57,10 +75,9 @@ func (g *Network) MaxFlow(s, t int) int64 {
 		return 0
 	}
 	var total int64
-	g.level = make([]int32, g.n)
-	g.iter = make([]int32, g.n)
-	queue := make([]int32, 0, g.n)
-	for g.bfs(s, t, &queue) {
+	g.level = growInt32(g.level, g.n)
+	g.iter = growInt32(g.iter, g.n)
+	for g.bfs(s, t) {
 		copy(g.iter, g.head)
 		for {
 			f := g.dfs(s, t, int64(1)<<62)
@@ -73,16 +90,15 @@ func (g *Network) MaxFlow(s, t int) int64 {
 	return total
 }
 
-func (g *Network) bfs(s, t int, queue *[]int32) bool {
+func (g *Network) bfs(s, t int) bool {
 	for i := range g.level {
 		g.level[i] = -1
 	}
-	q := (*queue)[:0]
+	q := g.queue[:0]
 	g.level[s] = 0
 	q = append(q, int32(s))
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	for qi := 0; qi < len(q); qi++ {
+		v := q[qi]
 		for e := g.head[v]; e != -1; e = g.next[e] {
 			if g.cap[e] > 0 && g.level[g.to[e]] < 0 {
 				g.level[g.to[e]] = g.level[v] + 1
@@ -90,7 +106,7 @@ func (g *Network) bfs(s, t int, queue *[]int32) bool {
 			}
 		}
 	}
-	*queue = q
+	g.queue = q
 	return g.level[t] >= 0
 }
 
@@ -115,4 +131,11 @@ func (g *Network) dfs(v, t int, f int64) int64 {
 		}
 	}
 	return 0
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }

@@ -38,9 +38,36 @@ var ErrUnbounded = errors.New("lp: unbounded")
 
 const eps = 1e-9
 
+// Workspace owns the dense working memory of the simplex: the
+// normalized row copies, the tableau (one flat backing array), the
+// basis and the result vector. A zero Workspace is ready to use;
+// re-solving a same-shape problem on a warmed Workspace performs zero
+// heap allocations. The solution slice returned by Workspace.Solve is
+// owned by the workspace and valid until its next Solve. A Workspace
+// is not safe for concurrent use.
+type Workspace struct {
+	a      []float64 // normalized rows, flat m×n
+	b      []float64
+	kind   []RowKind
+	tabBuf []float64   // (m+1)×(total+1) tableau backing
+	tab    [][]float64 // row headers into tabBuf
+	basis  []int
+	x      []float64
+}
+
 // Solve runs two-phase simplex with Bland's rule and returns an
-// optimal solution and its objective value.
+// optimal solution and its objective value. It is the throwaway
+// entry point: each call uses a fresh Workspace, so the returned
+// slice is the caller's.
 func Solve(p *Problem) ([]float64, float64, error) {
+	var w Workspace
+	return w.Solve(p)
+}
+
+// Solve is the warm entry point: identical arithmetic to the
+// package-level Solve (bit-for-bit — the operations run in the same
+// order on the same values), reusing the workspace's buffers.
+func (w *Workspace) Solve(p *Problem) ([]float64, float64, error) {
 	n := len(p.C)
 	m := len(p.A)
 	if len(p.B) != m || len(p.Kind) != m {
@@ -53,16 +80,21 @@ func Solve(p *Problem) ([]float64, float64, error) {
 	}
 
 	// Normalise to b ≥ 0.
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	kind := make([]RowKind, m)
+	w.a = growFloats(w.a, m*n)
+	w.b = growFloats(w.b, m)
+	if cap(w.kind) < m {
+		w.kind = make([]RowKind, m)
+	}
+	w.kind = w.kind[:m]
+	b, kind := w.b, w.kind
 	for i := 0; i < m; i++ {
-		a[i] = append([]float64(nil), p.A[i]...)
+		row := w.a[i*n : (i+1)*n]
+		copy(row, p.A[i])
 		b[i] = p.B[i]
 		kind[i] = p.Kind[i]
 		if b[i] < 0 {
-			for j := range a[i] {
-				a[i][j] = -a[i][j]
+			for j := range row {
+				row[j] = -row[j]
 			}
 			b[i] = -b[i]
 			switch kind[i] {
@@ -88,14 +120,25 @@ func Solve(p *Problem) ([]float64, float64, error) {
 		}
 	}
 	total := n + extra + art
-	tab := make([][]float64, m+1)
-	for i := range tab {
-		tab[i] = make([]float64, total+1)
+	stride := total + 1
+	w.tabBuf = growFloats(w.tabBuf, (m+1)*stride)
+	clear(w.tabBuf)
+	if cap(w.tab) < m+1 {
+		w.tab = make([][]float64, m+1)
 	}
-	basis := make([]int, m)
+	w.tab = w.tab[:m+1]
+	tab := w.tab
+	for i := range tab {
+		tab[i] = w.tabBuf[i*stride : (i+1)*stride]
+	}
+	if cap(w.basis) < m {
+		w.basis = make([]int, m)
+	}
+	w.basis = w.basis[:m]
+	basis := w.basis
 	se, ai := n, n+extra
 	for i := 0; i < m; i++ {
-		copy(tab[i], a[i])
+		copy(tab[i], w.a[i*n:(i+1)*n])
 		tab[i][total] = b[i]
 		switch kind[i] {
 		case LE:
@@ -177,13 +220,22 @@ func Solve(p *Problem) ([]float64, float64, error) {
 		return nil, 0, err
 	}
 
-	x := make([]float64, n)
+	w.x = growFloats(w.x, n)
+	clear(w.x)
+	x := w.x
 	for i := 0; i < m; i++ {
 		if basis[i] < n {
 			x[basis[i]] = tab[i][total]
 		}
 	}
 	return x, -tab[m][total], nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // iterate runs simplex pivots (Bland's rule) until optimal.

@@ -1,0 +1,398 @@
+package multiple
+
+import (
+	"fmt"
+	"slices"
+
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// Session is the reusable warm-path state for the Multiple-policy
+// algorithms. Bind it to a validated instance with Reset, then call
+// Bin/Greedy/Lazy/Best repeatedly: once the buffers have grown, warm
+// solves perform zero heap allocations and return exactly the
+// normalized solution of the package-level functions.
+//
+// Layout: the per-node req/proc lists of Algorithm 3 are per-node
+// slices reused across solves (each node owns its backing array, so
+// the extra-server machinery can re-read a child's list after the
+// parent consumed a copy). Transient lists — the merge buffer, the
+// extra-server child/keep segments, the serve-inside partitions — live
+// in grow-only arenas addressed by [base, end) index pairs so that
+// recursion levels stack without aliasing.
+//
+// Equivalences relied on (vs. the allocating cold path):
+//   - mergeAll(addDist parts) is a left-biased fold of stable merges,
+//     which equals a stable sort by non-increasing d of the parts
+//     concatenated in child order;
+//   - proc/keep lists are only ever read as multisets (run feeds them
+//     through Solution.Normalize), so their internal order is free —
+//     only req lists, which later takes split by prefix, must keep the
+//     exact cold order.
+//
+// The returned *core.Solution is owned by the session and valid until
+// the next solve. A Session is not safe for concurrent use.
+type Session struct {
+	in   *core.Instance
+	flat *tree.Flat
+	sc   core.Scratch
+	solA core.Solution
+	solB core.Solution // second buffer so Best can hold both variants
+	lazy bool
+
+	req  []list // req(j), session-owned per-node backing
+	proc []list // proc(j)
+	inR  []bool
+	vtmp list          // visit merge buffer (one level live at a time)
+	kids []tree.NodeID // extra-server sorted children + pending arena
+	pend []tree.NodeID
+	keep list // extra-server keep arena
+	part list // serve-inside rest/partition arena
+}
+
+// Reset binds the session to an instance and its flat twin. The caller
+// must have validated the instance; Reset itself does not allocate.
+func (s *Session) Reset(in *core.Instance, f *tree.Flat) {
+	s.in = in
+	s.flat = f
+}
+
+// Bin is the warm-path Bin (Algorithm 3; binary trees, ri ≤ W).
+func (s *Session) Bin() (*core.Solution, error) {
+	if !s.flat.IsBinary() {
+		return nil, fmt.Errorf("multiple: Bin requires a binary tree (arity %d)", s.in.Tree.Arity())
+	}
+	if s.flat.MaxRequests() > s.in.W {
+		return nil, fmt.Errorf("multiple: Bin requires ri ≤ W for all clients (max r=%d, W=%d)",
+			s.flat.MaxRequests(), s.in.W)
+	}
+	return s.run(false, &s.solA)
+}
+
+// Greedy is the warm-path Greedy (eager variant, arbitrary arity).
+func (s *Session) Greedy() (*core.Solution, error) {
+	if s.flat.MaxRequests() > s.in.W {
+		return nil, fmt.Errorf("multiple: Greedy requires ri ≤ W for all clients (max r=%d, W=%d)",
+			s.flat.MaxRequests(), s.in.W)
+	}
+	return s.run(false, &s.solA)
+}
+
+// Lazy is the warm-path Lazy (delayed-placement variant).
+func (s *Session) Lazy() (*core.Solution, error) {
+	if s.flat.MaxRequests() > s.in.W {
+		return nil, fmt.Errorf("multiple: Lazy requires ri ≤ W for all clients (max r=%d, W=%d)",
+			s.flat.MaxRequests(), s.in.W)
+	}
+	return s.run(true, &s.solA)
+}
+
+// Best runs the eager and lazy variants and returns the better one,
+// exactly like the package-level Best.
+func (s *Session) Best() (*core.Solution, error) {
+	if s.flat.MaxRequests() > s.in.W {
+		return nil, fmt.Errorf("multiple: Greedy requires ri ≤ W for all clients (max r=%d, W=%d)",
+			s.flat.MaxRequests(), s.in.W)
+	}
+	eager, err := s.run(false, &s.solA)
+	if err != nil {
+		return nil, err
+	}
+	lazy, err := s.run(true, &s.solB)
+	if err != nil {
+		return nil, err
+	}
+	if lazy.NumReplicas() < eager.NumReplicas() {
+		return lazy, nil
+	}
+	return eager, nil
+}
+
+func (s *Session) run(lazy bool, sol *core.Solution) (*core.Solution, error) {
+	f := s.flat
+	n := f.Len()
+	if cap(s.req) < n {
+		s.req = make([]list, n)
+		s.proc = make([]list, n)
+		s.inR = make([]bool, n)
+	}
+	s.req, s.proc, s.inR = s.req[:n], s.proc[:n], s.inR[:n]
+	for j := 0; j < n; j++ {
+		s.req[j] = s.req[j][:0]
+		s.proc[j] = s.proc[j][:0]
+	}
+	clear(s.inR)
+	s.kids, s.pend, s.keep, s.part = s.kids[:0], s.pend[:0], s.keep[:0], s.part[:0]
+	s.lazy = lazy
+
+	s.visit(f.Root())
+	if len(s.req[f.Root()]) != 0 {
+		panic("multiple: requests left at the root")
+	}
+	sol.Replicas = sol.Replicas[:0]
+	sol.Assignments = sol.Assignments[:0]
+	for j := 0; j < n; j++ {
+		if !s.inR[j] {
+			continue
+		}
+		id := tree.NodeID(j)
+		sol.AddReplica(id)
+		for _, tr := range s.proc[j] {
+			sol.Assign(tr.client, id, tr.w)
+		}
+	}
+	sol.Normalize()
+	if err := s.sc.Verify(f, s.in, core.Multiple, sol); err != nil {
+		return nil, fmt.Errorf("multiple: algorithm produced infeasible solution: %w", err)
+	}
+	return sol, nil
+}
+
+// visit mirrors state.visit on the flat tree. The merge buffer vtmp is
+// shared across levels: a level's use ends (content copied into
+// req/proc) before it returns to its parent, and the child recursion
+// happens before the parent touches vtmp.
+func (s *Session) visit(j tree.NodeID) {
+	f := s.flat
+	dmax := s.in.DMax
+
+	if f.IsClient(j) {
+		r := f.Reqs[j]
+		if r == 0 {
+			return
+		}
+		if f.Dist(j) > dmax {
+			s.inR[j] = true
+			s.proc[j] = append(s.proc[j], triple{d: 0, w: r, client: j})
+		} else {
+			s.req[j] = append(s.req[j], triple{d: 0, w: r, client: j})
+		}
+		return
+	}
+
+	for c := f.FirstChild[j]; c != tree.None; c = f.NextSibling[c] {
+		s.visit(c)
+	}
+	// temp := mergeAll(addDist parts): concatenate in child order, then
+	// stable-sort by non-increasing d (equal to the fold of left-biased
+	// stable merges).
+	tmp := s.vtmp[:0]
+	for c := f.FirstChild[j]; c != tree.None; c = f.NextSibling[c] {
+		dc := f.Dist(c)
+		for _, u := range s.req[c] {
+			tmp = append(tmp, triple{d: tree.SatAdd(u.d, dc), w: u.w, client: u.client})
+		}
+	}
+	slices.SortStableFunc(tmp, func(a, b triple) int {
+		switch {
+		case a.d > b.d:
+			return -1
+		case a.d < b.d:
+			return 1
+		}
+		return 0
+	})
+	s.vtmp = tmp
+	var wtot int64
+	for i := range tmp {
+		wtot += tmp[i].w
+	}
+
+	root := f.Root()
+	blockedAbove := func(d int64) bool {
+		return j == root || tree.SatAdd(d, f.Dist(j)) > dmax
+	}
+
+	if len(tmp) > 0 && (blockedAbove(tmp[0].d) || (!s.lazy && wtot > s.in.W)) {
+		i, splitW := splitPoint(tmp, s.in.W)
+		s.inR[j] = true
+		s.proc[j] = append(s.proc[j], tmp[:i]...)
+		if splitW > 0 {
+			s.proc[j] = append(s.proc[j], triple{d: tmp[i].d, w: splitW, client: tmp[i].client})
+			s.req[j] = append(s.req[j], triple{d: tmp[i].d, w: tmp[i].w - splitW, client: tmp[i].client})
+			i++
+		}
+		s.req[j] = append(s.req[j], tmp[i:]...)
+	} else {
+		s.req[j] = append(s.req[j], tmp...)
+	}
+
+	if l := s.req[j]; len(l) > 0 && blockedAbove(l[0].d) {
+		s.extraServer(j)
+		s.req[j] = s.req[j][:0]
+	}
+}
+
+// splitPoint computes the cold take(w) split: the prefix l[:i] fits
+// whole, and splitW (0 if none) of l[i] is additionally kept to reach
+// exactly w.
+func splitPoint(l list, w int64) (i int, splitW int64) {
+	var got int64
+	for i = 0; i < len(l); i++ {
+		if got == w {
+			return i, 0
+		}
+		if got+l[i].w <= w {
+			got += l[i].w
+			continue
+		}
+		return i, w - got
+	}
+	return len(l), 0
+}
+
+// extraServer mirrors state.extraServer. Children and pending segments
+// live in the kids/pend arenas, the keep list in the keep arena; the
+// recursion (extraServer of a saturated child, serveInside splits)
+// appends beyond this level's segments and truncates back before
+// returning, so indices — not slice headers — address the segments
+// across recursive calls.
+func (s *Session) extraServer(j tree.NodeID) {
+	f := s.flat
+	kidsBase := len(s.kids)
+	for c := f.FirstChild[j]; c != tree.None; c = f.NextSibling[c] {
+		s.kids = append(s.kids, c)
+	}
+	seg := s.kids[kidsBase:]
+	slices.SortFunc(seg, func(a, b tree.NodeID) int {
+		ta, tb := s.req[a].total(), s.req[b].total()
+		switch {
+		case ta < tb:
+			return -1
+		case ta > tb:
+			return 1
+		}
+		return int(a) - int(b)
+	})
+
+	keepBase := len(s.keep)
+	budget := s.in.W
+	pendBase := len(s.pend)
+	// First pass: no recursion, slice headers are stable.
+	for _, c := range seg {
+		lc := s.req[c]
+		w := lc.total()
+		if w == 0 {
+			continue
+		}
+		if w <= budget {
+			dc := f.Dist(c)
+			for _, u := range lc {
+				s.keep = append(s.keep, triple{d: tree.SatAdd(u.d, dc), w: u.w, client: u.client})
+			}
+			budget -= w
+			s.req[c] = s.req[c][:0]
+			continue
+		}
+		s.pend = append(s.pend, c)
+	}
+	pendEnd := len(s.pend)
+	for pi := pendBase; pi < pendEnd; pi++ {
+		c := s.pend[pi]
+		lc := s.req[c]
+		if s.inR[c] {
+			if f.IsClient(c) {
+				panic("multiple: extra-server reached a saturated client")
+			}
+			s.req[c] = s.req[c][:0]
+			s.extraServer(c)
+			continue
+		}
+		i, splitW := 0, int64(0)
+		if budget > 0 {
+			i, splitW = splitPoint(lc, budget)
+			dc := f.Dist(c)
+			for _, u := range lc[:i] {
+				s.keep = append(s.keep, triple{d: tree.SatAdd(u.d, dc), w: u.w, client: u.client})
+			}
+			if splitW > 0 {
+				s.keep = append(s.keep, triple{d: tree.SatAdd(lc[i].d, dc), w: splitW, client: lc[i].client})
+			}
+			budget = 0
+		}
+		// rest of lc, materialised in the part arena so req[c] can be
+		// reset before the descent.
+		restBase := len(s.part)
+		if splitW > 0 {
+			s.part = append(s.part, triple{d: lc[i].d, w: lc[i].w - splitW, client: lc[i].client})
+			i++
+		}
+		s.part = append(s.part, lc[i:]...)
+		restEnd := len(s.part)
+		s.req[c] = s.req[c][:0]
+		s.serveInside(c, restBase, restEnd)
+		s.part = s.part[:restBase]
+	}
+	s.pend = s.pend[:pendBase]
+	s.kids = s.kids[:kidsBase]
+
+	if len(s.keep) == keepBase {
+		s.inR[j] = false
+		s.proc[j] = s.proc[j][:0]
+		return
+	}
+	s.proc[j] = append(s.proc[j][:0], s.keep[keepBase:]...)
+	s.inR[j] = true
+	s.keep = s.keep[:keepBase]
+}
+
+// serveInside mirrors state.serveInside; the input list is the part
+// arena segment [base, end), and the per-child partitions are appended
+// after it (each recursion truncates back to its own base on return).
+func (s *Session) serveInside(c tree.NodeID, base, end int) {
+	if end == base {
+		return
+	}
+	f := s.flat
+	if !s.inR[c] {
+		i, splitW := splitPoint(s.part[base:end], s.in.W)
+		s.inR[c] = true
+		s.proc[c] = append(s.proc[c][:0], s.part[base:base+i]...)
+		if splitW > 0 {
+			u := s.part[base+i]
+			s.proc[c] = append(s.proc[c], triple{d: u.d, w: splitW, client: u.client})
+			s.part[base+i].w = u.w - splitW
+			base += i
+		} else {
+			base += i
+		}
+		if end == base {
+			return
+		}
+	}
+	if f.IsClient(c) {
+		panic("multiple: request unit descended past its origin client")
+	}
+	// Partition the remainder by the child each unit came through,
+	// preserving the list order inside each part (one filtering scan
+	// per child, in child order — same parts as the cold map build).
+	for gc := f.FirstChild[c]; gc != tree.None; gc = f.NextSibling[gc] {
+		partBase := len(s.part)
+		dgc := f.Dist(gc)
+		for i := base; i < end; i++ {
+			u := s.part[i]
+			if s.childToward(c, u.client) == gc {
+				s.part = append(s.part, triple{d: u.d - dgc, w: u.w, client: u.client})
+			}
+		}
+		partEnd := len(s.part)
+		if partEnd > partBase {
+			s.serveInside(gc, partBase, partEnd)
+		}
+		s.part = s.part[:partBase]
+	}
+}
+
+// childToward returns the child of c on the path from c down to
+// client i.
+func (s *Session) childToward(c, i tree.NodeID) tree.NodeID {
+	f := s.flat
+	for f.Parents[i] != c {
+		i = f.Parents[i]
+		if i == f.Root() {
+			panic("multiple: childToward walked past the root")
+		}
+	}
+	return i
+}

@@ -112,6 +112,10 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 		if !feasible(c.Policy) {
 			continue
 		}
+		// The candidate request deliberately omits req.Scratch: Batch
+		// runs candidates concurrently and a Scratch is single-owner,
+		// so sharing it would race the session buffers (and alias the
+		// candidates' solutions into one arena).
 		creq := Request{
 			Instance: in,
 			Budget:   budget,

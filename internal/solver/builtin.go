@@ -48,6 +48,23 @@ func plain(fn func(*core.Instance) (*core.Solution, error)) func(context.Context
 	}
 }
 
+// warmable pairs a cold solve function with its warm-path session
+// twin. When the request lends a Scratch and the instance ingests
+// cleanly, the solve runs on the scratch's reusable buffers — zero
+// heap allocations once warm, session-owned solution. Any ingest
+// failure (an invalid instance) falls back to the cold function,
+// which reproduces the validation error verbatim.
+func warmable(cold func(*core.Instance) (*core.Solution, error), warm func(*Scratch) (*core.Solution, error)) func(context.Context, Request) (*core.Solution, int64, error) {
+	return func(_ context.Context, req Request) (*core.Solution, int64, error) {
+		if sc := req.Scratch; sc != nil && sc.ingest(req.Instance) == nil {
+			sol, err := warm(sc)
+			return sol, 0, err
+		}
+		sol, err := cold(req.Instance)
+		return sol, 0, err
+	}
+}
+
 // exactFn adapts the exact branch-and-bound solvers, threading
 // Request.Budget into exact.Options and the consumed steps back into
 // Report.Work.
@@ -63,10 +80,10 @@ func init() {
 	poly, expo := CostPolynomial, CostExponential
 	MustRegisterEngine(NewEngine(
 		caps(SingleGen, core.Single, false, true, false, poly, "Algorithm 1: greedy bottom-up, (Δ+1)-approximation"),
-		plain(single.Gen)))
+		warmable(single.Gen, func(sc *Scratch) (*core.Solution, error) { return sc.single.Gen() })))
 	MustRegisterEngine(NewEngine(
 		caps(SingleNoD, core.Single, false, false, false, poly, "Algorithm 2: 2-approximation for Single without distance bound"),
-		plain(single.NoD)))
+		warmable(single.NoD, func(sc *Scratch) (*core.Solution, error) { return sc.single.NoD() })))
 	MustRegisterEngine(NewEngine(
 		caps(SinglePassUp, core.Single, false, false, false, poly, "pass-up variant of Algorithm 2"),
 		plain(single.NoDPassUp)))
@@ -84,16 +101,16 @@ func init() {
 		})))
 	MustRegisterEngine(NewEngine(
 		caps(MultipleBin, core.Multiple, false, true, false, poly, "Algorithm 3 (eager): optimal on binary trees with ri ≤ W"),
-		plain(multiple.Bin)))
+		warmable(multiple.Bin, func(sc *Scratch) (*core.Solution, error) { return sc.multiple.Bin() })))
 	MustRegisterEngine(NewEngine(
 		caps(MultipleLazy, core.Multiple, false, true, false, poly, "lazy variant of Algorithm 3"),
-		plain(multiple.Lazy)))
+		warmable(multiple.Lazy, func(sc *Scratch) (*core.Solution, error) { return sc.multiple.Lazy() })))
 	MustRegisterEngine(NewEngine(
 		caps(MultipleBest, core.Multiple, false, true, false, poly, "min(multiple-bin, multiple-lazy)"),
-		plain(multiple.Best)))
+		warmable(multiple.Best, func(sc *Scratch) (*core.Solution, error) { return sc.multiple.Best() })))
 	MustRegisterEngine(NewEngine(
 		caps(MultipleGreedy, core.Multiple, false, true, false, poly, "general-arity generalisation of Algorithm 3"),
-		plain(multiple.Greedy)))
+		warmable(multiple.Greedy, func(sc *Scratch) (*core.Solution, error) { return sc.multiple.Greedy() })))
 	MustRegisterEngine(NewEngine(
 		caps(ExactSingle, core.Single, true, true, false, expo, "optimal Single via branch-and-bound over assignments"),
 		exactFn(exact.SolveSingle)))
@@ -102,7 +119,16 @@ func init() {
 		exactFn(exact.SolveMultiple)))
 	MustRegisterEngine(NewEngine(
 		caps(LPRound, core.Multiple, false, true, false, poly, "LP relaxation support rounding"),
-		plain(lp.Placement)))
+		func(_ context.Context, req Request) (*core.Solution, int64, error) {
+			if sc := req.Scratch; sc != nil && sc.ingest(req.Instance) == nil {
+				if s, ok := sc.lpSession(); ok {
+					sol, err := s.Placement()
+					return sol, 0, err
+				}
+			}
+			sol, err := lp.Placement(req.Instance)
+			return sol, 0, err
+		}))
 	MustRegisterEngine(NewEngine(
 		caps(HeteroGreedy, core.Multiple, false, true, true, poly, "heterogeneous greedy, run at uniform capacity"),
 		plain(func(in *core.Instance) (*core.Solution, error) {

@@ -77,6 +77,14 @@ type Request struct {
 	// computation on hot paths, and the auto engine's "exact" hint
 	// ("force"/"skip") overrides its size gate for exact candidates.
 	Hints map[string]string
+	// Scratch, when non-nil, lends the engine reusable working memory
+	// for the warm solve path: the polynomial built-ins then solve on
+	// pooled session buffers with zero heap allocations once warm.
+	// The Report's Solution is owned by the scratch and valid only
+	// until its next solve — clone it before PutScratch. Engines
+	// without a warm path ignore the field. A Scratch must never be
+	// shared across concurrent requests.
+	Scratch *Scratch
 }
 
 // Hint returns the named hint, or "" when unset.
@@ -249,11 +257,18 @@ func (e *engineCore) Solve(ctx context.Context, req Request) (Report, error) {
 
 // fillBound computes the uniform lower-bound/gap block of a successful
 // report, unless the request's "no-lower-bound" hint suppresses it.
+// When the request's scratch is bound to the instance it uses the
+// scratch's flat-tree tables (same value, zero allocations); the
+// equality is pinned by TestScratchLowerBoundMatchesCold.
 func fillBound(rep *Report, req Request) {
 	if rep.Solution == nil || req.Hint("no-lower-bound") != "" {
 		return
 	}
-	rep.LowerBound = core.LowerBound(req.Instance)
+	if sc := req.Scratch; sc != nil && sc.in == req.Instance {
+		rep.LowerBound = sc.bound.LowerBound(&sc.flat, req.Instance)
+	} else {
+		rep.LowerBound = core.LowerBound(req.Instance)
+	}
 	if rep.LowerBound > 0 {
 		rep.Gap = float64(rep.Solution.NumReplicas()-rep.LowerBound) / float64(rep.LowerBound)
 	}

@@ -1,0 +1,220 @@
+package tree
+
+// This file implements Flat, the structure-of-arrays (SoA) twin of
+// Tree. A Tree stores one Node struct per node with a per-node
+// Children slice; Flat stores the same information as parallel index
+// arrays (parent / first-child / next-sibling) plus contiguous edge
+// length and request slices and precomputed pre/postorder index
+// permutations. Built once per instance, a Flat is the substrate of
+// the zero-allocation warm solve path: the bottom-up algorithms
+// iterate the postorder permutation instead of recursing, and every
+// per-node lookup is an array index instead of a pointer chase.
+//
+// Flat complements the pointer Tree, it does not replace it: the
+// Builder, JSON codecs and generators keep producing Trees, and
+// Flatten/Tree convert losslessly in both directions (IDs, child
+// order and labels are preserved).
+
+// Flat is the SoA representation of a rooted distribution tree. The
+// arrays are parallel and indexed by NodeID; child lists are encoded
+// as FirstChild/NextSibling chains that preserve the Tree's child
+// order. Treat a Flat as immutable once built.
+type Flat struct {
+	// Parents[j] is the parent of j, None for the root.
+	Parents []NodeID
+	// FirstChild[j] is j's first child (None for clients);
+	// NextSibling[c] chains the remaining children in order.
+	FirstChild  []NodeID
+	NextSibling []NodeID
+	// EdgeLens[j] is δj, the length of the edge to the parent
+	// (0 for the root — use Dist for the paper's δr = +∞ convention).
+	EdgeLens []int64
+	// Reqs[j] is rj for clients, 0 for internal nodes.
+	Reqs []int64
+	// Labels[j] is the optional human-readable name (may be empty).
+	Labels []string
+	// Pre and Post are index permutations: Pre lists nodes parents
+	// before children, Post children before parents, both visiting
+	// children in child-list order. They match the recursive
+	// Tree.PreOrder/Tree.PostOrder visit sequences exactly.
+	Pre  []NodeID
+	Post []NodeID
+
+	root       NodeID
+	numClients int
+}
+
+// Len returns the total number of nodes.
+func (f *Flat) Len() int { return len(f.Parents) }
+
+// Root returns the root node ID.
+func (f *Flat) Root() NodeID { return f.root }
+
+// NumClients returns |C|.
+func (f *Flat) NumClients() int { return f.numClients }
+
+// IsClient reports whether j is a leaf (client) node.
+func (f *Flat) IsClient(j NodeID) bool { return f.FirstChild[j] == None }
+
+// Dist returns δj with the same convention as Tree.Dist: Infinity for
+// the root, the stored edge length otherwise.
+func (f *Flat) Dist(j NodeID) int64 {
+	if j == f.root {
+		return Infinity
+	}
+	return f.EdgeLens[j]
+}
+
+// NumChildren returns the number of children of j.
+func (f *Flat) NumChildren(j NodeID) int {
+	n := 0
+	for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+		n++
+	}
+	return n
+}
+
+// MaxRequests returns max rj over all nodes, mirroring
+// Tree.MaxRequests.
+func (f *Flat) MaxRequests() int64 {
+	var m int64
+	for _, r := range f.Reqs {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// IsBinary reports whether every node has at most two children.
+func (f *Flat) IsBinary() bool {
+	for j := range f.Parents {
+		if f.NumChildren(NodeID(j)) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Flatten builds the SoA representation of t.
+func Flatten(t *Tree) *Flat {
+	f := &Flat{}
+	FlattenInto(f, t)
+	return f
+}
+
+// FlattenInto rebuilds f from t, reusing f's existing array capacity.
+// It is the ingestion step of the warm solve path: a pooled scratch
+// re-ingests many instances over its lifetime, and after the arrays
+// have grown to a working set's size, re-flattening allocates
+// nothing.
+func FlattenInto(f *Flat, t *Tree) {
+	n := t.Len()
+	f.Parents = growIDs(f.Parents, n)
+	f.FirstChild = growIDs(f.FirstChild, n)
+	f.NextSibling = growIDs(f.NextSibling, n)
+	f.Pre = growIDs(f.Pre, n)
+	f.Post = growIDs(f.Post, n)
+	f.EdgeLens = growInt64s(f.EdgeLens, n)
+	f.Reqs = growInt64s(f.Reqs, n)
+	if cap(f.Labels) < n {
+		f.Labels = make([]string, n)
+	}
+	f.Labels = f.Labels[:n]
+	f.root = t.root
+	f.numClients = 0
+
+	for j := range t.nodes {
+		nd := &t.nodes[j]
+		f.Parents[j] = nd.Parent
+		f.EdgeLens[j] = nd.Dist
+		f.Reqs[j] = nd.Requests
+		f.Labels[j] = nd.Label
+		if len(nd.Children) == 0 {
+			f.FirstChild[j] = None
+			f.numClients++
+		} else {
+			f.FirstChild[j] = nd.Children[0]
+			for k := 0; k+1 < len(nd.Children); k++ {
+				f.NextSibling[nd.Children[k]] = nd.Children[k+1]
+			}
+			f.NextSibling[nd.Children[len(nd.Children)-1]] = None
+		}
+	}
+	f.NextSibling[f.root] = None
+
+	// Preorder: explicit stack, children pushed in reverse so they pop
+	// in child-list order — identical to the recursive PreOrder.
+	// Postorder: pop order "node then children pushed in order" is the
+	// reverse of postorder, so fill Post back to front.
+	var stk [64]NodeID
+	s := stk[:0]
+	s = append(s, f.root)
+	pi := 0
+	for len(s) > 0 {
+		j := s[len(s)-1]
+		s = s[:len(s)-1]
+		f.Pre[pi] = j
+		pi++
+		// Push children in reverse child order.
+		nc := 0
+		for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+			s = append(s, c)
+			nc++
+		}
+		// Reverse the just-pushed block so the first child pops first.
+		for a, b := len(s)-nc, len(s)-1; a < b; a, b = a+1, b-1 {
+			s[a], s[b] = s[b], s[a]
+		}
+	}
+	s = s[:0]
+	s = append(s, f.root)
+	oi := n
+	for len(s) > 0 {
+		j := s[len(s)-1]
+		s = s[:len(s)-1]
+		oi--
+		f.Post[oi] = j
+		for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+			s = append(s, c)
+		}
+	}
+}
+
+// Tree converts the SoA representation back to a pointer Tree. The
+// result is structurally identical to the original: same IDs, same
+// child order, same labels. The reconstructed tree is validated.
+func (f *Flat) Tree() (*Tree, error) {
+	n := f.Len()
+	nodes := make([]Node, n)
+	for j := 0; j < n; j++ {
+		nodes[j] = Node{
+			Parent:   f.Parents[j],
+			Dist:     f.EdgeLens[j],
+			Requests: f.Reqs[j],
+			Label:    f.Labels[j],
+		}
+		for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+			nodes[j].Children = append(nodes[j].Children, c)
+		}
+	}
+	t := &Tree{nodes: nodes, root: f.root}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func growIDs(s []NodeID, n int) []NodeID {
+	if cap(s) < n {
+		return make([]NodeID, n)
+	}
+	return s[:n]
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,147 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildSample returns a small fixed tree exercising arity > 2, labels
+// and zero-request clients.
+func buildSample(t *testing.T) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	r := b.Root("root")
+	n1 := b.Internal(r, 2, "n1")
+	n2 := b.Internal(r, 1, "")
+	b.Client(n1, 3, 7, "c1")
+	b.Client(n1, 1, 0, "c2")
+	n3 := b.Internal(n2, 4, "n3")
+	b.Client(n2, 2, 5, "")
+	b.Client(n3, 1, 9, "c4")
+	b.Client(n3, 2, 4, "c5")
+	b.Client(n3, 3, 1, "c6")
+	return b.MustBuild()
+}
+
+// randomTreeForFlat grows a random tree through the Builder.
+func randomTreeForFlat(rng *rand.Rand, internals, maxArity int) *Tree {
+	b := NewBuilder()
+	parents := []NodeID{b.Root("")}
+	for i := 1; i < internals; i++ {
+		p := parents[rng.Intn(len(parents))]
+		parents = append(parents, b.Internal(p, 1+rng.Int63n(4), ""))
+	}
+	for _, p := range parents {
+		kids := 1 + rng.Intn(maxArity)
+		for k := 0; k < kids; k++ {
+			b.Client(p, 1+rng.Int63n(4), rng.Int63n(10), "")
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	trees := []*Tree{buildSample(t)}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		trees = append(trees, randomTreeForFlat(rng, 1+rng.Intn(30), 1+rng.Intn(4)))
+	}
+	for ti, tr := range trees {
+		f := Flatten(tr)
+		back, err := f.Tree()
+		if err != nil {
+			t.Fatalf("tree %d: round-trip rebuild failed: %v", ti, err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("tree %d: round trip not identical", ti)
+		}
+	}
+}
+
+func TestFlatMatchesTreeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		tr := randomTreeForFlat(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		f := Flatten(tr)
+		if f.Len() != tr.Len() {
+			t.Fatalf("Len: %d != %d", f.Len(), tr.Len())
+		}
+		if f.Root() != tr.Root() {
+			t.Fatalf("Root: %d != %d", f.Root(), tr.Root())
+		}
+		if f.NumClients() != tr.NumClients() {
+			t.Fatalf("NumClients: %d != %d", f.NumClients(), tr.NumClients())
+		}
+		if f.MaxRequests() != tr.MaxRequests() {
+			t.Fatalf("MaxRequests: %d != %d", f.MaxRequests(), tr.MaxRequests())
+		}
+		if f.IsBinary() != tr.IsBinary() {
+			t.Fatalf("IsBinary mismatch")
+		}
+		for j := 0; j < tr.Len(); j++ {
+			id := NodeID(j)
+			if f.Parents[j] != tr.Parent(id) {
+				t.Fatalf("parent of %d: %d != %d", j, f.Parents[j], tr.Parent(id))
+			}
+			if f.Dist(id) != tr.Dist(id) {
+				t.Fatalf("dist of %d: %d != %d", j, f.Dist(id), tr.Dist(id))
+			}
+			if f.Reqs[j] != tr.Requests(id) {
+				t.Fatalf("requests of %d", j)
+			}
+			if f.IsClient(id) != tr.IsClient(id) {
+				t.Fatalf("IsClient of %d", j)
+			}
+			if f.NumChildren(id) != len(tr.Children(id)) {
+				t.Fatalf("child count of %d", j)
+			}
+			k := 0
+			for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+				if c != tr.Children(id)[k] {
+					t.Fatalf("child %d of %d: %d != %d", k, j, c, tr.Children(id)[k])
+				}
+				k++
+			}
+		}
+	}
+}
+
+func TestFlatTraversalPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		tr := randomTreeForFlat(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		f := Flatten(tr)
+		var pre, post []NodeID
+		tr.PreOrder(func(j NodeID) { pre = append(pre, j) })
+		tr.PostOrder(func(j NodeID) { post = append(post, j) })
+		if !reflect.DeepEqual(f.Pre, pre) {
+			t.Fatalf("preorder mismatch:\n flat %v\n tree %v", f.Pre, pre)
+		}
+		if !reflect.DeepEqual(f.Post, post) {
+			t.Fatalf("postorder mismatch:\n flat %v\n tree %v", f.Post, post)
+		}
+	}
+}
+
+// TestFlattenIntoReuse pins the ingestion contract: re-flattening a
+// same-shape tree into a warmed Flat performs no allocations.
+func TestFlattenIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := randomTreeForFlat(rng, 30, 3)
+	var f Flat
+	FlattenInto(&f, tr)
+	avg := testing.AllocsPerRun(20, func() {
+		FlattenInto(&f, tr)
+	})
+	if avg != 0 {
+		t.Fatalf("FlattenInto on warmed Flat allocated %.1f times per run", avg)
+	}
+	back, err := f.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("round trip after reuse not identical")
+	}
+}

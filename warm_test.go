@@ -1,0 +1,188 @@
+package replicatree_test
+
+// Warm-path gates: the zero-allocation guarantee of the scratch-based
+// solve path and its behavioural equality with the cold path.
+//
+// TestAllocs is the CI tripwire for the tentpole invariant: a warm
+// Engine.Solve — scratch lent, instance already ingested — performs
+// zero heap allocations for every warm-capable engine. It measures
+// through the public Engine seam, so a regression anywhere on the
+// path (session, Normalize, Verify, fillBound, the dispatch itself)
+// trips it. Set REPLICATREE_SKIP_ALLOC_GATE=1 to skip it temporarily,
+// e.g. while bisecting an unrelated failure under instrumented builds
+// (-race and -msan builds skip automatically: their instrumentation
+// allocates).
+//
+// TestWarmMatchesColdCorpus is the metamorphic twin: over the full
+// frozen testdata/ corpus, a warm solve must return the exact Report
+// of a cold solve — same solution, bound, gap, policy — and repeat it
+// on a re-solve of the already-warm scratch.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/gen"
+	"replicatree/internal/solver"
+)
+
+// warmEngines are the engines with a scratch-backed warm path; every
+// other engine ignores Request.Scratch.
+var warmEngines = []string{
+	solver.SingleGen,
+	solver.SingleNoD,
+	solver.MultipleBin,
+	solver.MultipleLazy,
+	solver.MultipleBest,
+	solver.MultipleGreedy,
+	solver.LPRound,
+}
+
+// allocInstance builds the ~200-node binary instance the allocation
+// gate solves: binary so multiple-bin applies, W ≥ max rᵢ so the
+// Multiple preconditions hold.
+func allocInstance(seed int64, withDistance bool) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: 150, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+	}, withDistance)
+	if in.W < in.Tree.MaxRequests() {
+		in.W = in.Tree.MaxRequests()
+	}
+	return in
+}
+
+func TestAllocs(t *testing.T) {
+	if os.Getenv("REPLICATREE_SKIP_ALLOC_GATE") != "" {
+		t.Skip("REPLICATREE_SKIP_ALLOC_GATE set")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	skipIfInstrumented(t)
+	dist := allocInstance(71, true)
+	nod := allocInstance(73, false)
+	ctx := context.Background()
+	sc := solver.NewScratch()
+	for _, name := range warmEngines {
+		eng := solver.MustLookup(name)
+		in := dist
+		if !eng.Capabilities().SupportsDMax {
+			in = nod
+		}
+		req := solver.Request{Instance: in, Scratch: sc}
+		// Warm up outside the measurement: the first solve ingests the
+		// instance and grows every session buffer.
+		if rep, err := eng.Solve(ctx, req); err != nil {
+			t.Fatalf("%s: warm-up solve: %v", name, err)
+		} else if rep.Solution == nil {
+			t.Fatalf("%s: warm-up solve returned no solution", name)
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			rep, err := eng.Solve(ctx, req)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			_ = rep
+		})
+		if avg != 0 {
+			t.Errorf("%s: warm Engine.Solve allocated %.1f times per run, want 0", name, avg)
+		}
+	}
+}
+
+// TestWarmMatchesColdCorpus solves every corpus instance cold and warm
+// through the public Engine seam and requires identical Reports,
+// including on a second solve of the already-warm scratch.
+func TestWarmMatchesColdCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sc := solver.NewScratch()
+	n := 0
+	for _, file := range files {
+		if filepath.Base(file) == "manifest.json" {
+			continue
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in core.Instance
+		if err := json.Unmarshal(raw, &in); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		n++
+		for _, name := range warmEngines {
+			eng := solver.MustLookup(name)
+			cold, coldErr := eng.Solve(ctx, solver.Request{Instance: &in})
+			wreq := solver.Request{Instance: &in, Scratch: sc}
+			for round := 1; round <= 2; round++ {
+				warm, warmErr := eng.Solve(ctx, wreq)
+				if (coldErr == nil) != (warmErr == nil) {
+					t.Fatalf("%s %s round %d: cold err %v, warm err %v", file, name, round, coldErr, warmErr)
+				}
+				if coldErr != nil {
+					if coldErr.Error() != warmErr.Error() {
+						t.Errorf("%s %s round %d: cold err %q, warm err %q", file, name, round, coldErr, warmErr)
+					}
+					continue
+				}
+				if !slices.Equal(cold.Solution.Replicas, warm.Solution.Replicas) ||
+					!slices.Equal(cold.Solution.Assignments, warm.Solution.Assignments) {
+					t.Errorf("%s %s round %d: solutions differ\n cold %v\n warm %v",
+						file, name, round, cold.Solution, warm.Solution)
+				}
+				if cold.Policy != warm.Policy || cold.LowerBound != warm.LowerBound ||
+					cold.Gap != warm.Gap || cold.Proved != warm.Proved || cold.Engine != warm.Engine {
+					t.Errorf("%s %s round %d: report metadata differs\n cold %+v\n warm %+v",
+						file, name, round, cold, warm)
+				}
+			}
+		}
+	}
+	if n < 8 {
+		t.Fatalf("corpus has only %d instances", n)
+	}
+}
+
+// TestScratchPool pins the pooling contract: a pooled scratch is
+// reusable across distinct instances, and an invalid instance leaves
+// the warm path untouched (falls back cold with the same error).
+func TestScratchPool(t *testing.T) {
+	ctx := context.Background()
+	eng := solver.MustLookup(solver.SingleGen)
+	sc := solver.GetScratch()
+	defer solver.PutScratch(sc)
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 5; i++ {
+		in := gen.RandomInstance(rng, gen.TreeConfig{Internals: 10}, true)
+		cold, coldErr := eng.Solve(ctx, solver.Request{Instance: in})
+		warm, warmErr := eng.Solve(ctx, solver.Request{Instance: in, Scratch: sc})
+		if coldErr != nil || warmErr != nil {
+			t.Fatalf("instance %d: cold err %v, warm err %v", i, coldErr, warmErr)
+		}
+		if !slices.Equal(cold.Solution.Replicas, warm.Solution.Replicas) {
+			t.Fatalf("instance %d: solutions differ", i)
+		}
+	}
+
+	// An invalid instance must produce the cold validation error.
+	bad := &core.Instance{Tree: gen.RandomTree(rng, gen.TreeConfig{Internals: 4}), W: 0, DMax: core.NoDistance}
+	coldRep, coldErr := eng.Solve(ctx, solver.Request{Instance: bad})
+	warmRep, warmErr := eng.Solve(ctx, solver.Request{Instance: bad, Scratch: sc})
+	if coldErr == nil || warmErr == nil {
+		t.Fatalf("invalid instance accepted: cold (%v, %v), warm (%v, %v)", coldRep, coldErr, warmRep, warmErr)
+	}
+	if coldErr.Error() != warmErr.Error() {
+		t.Fatalf("invalid instance: cold err %q, warm err %q", coldErr, warmErr)
+	}
+}
