@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"replicatree/internal/core"
+	"replicatree/internal/delta"
 	"replicatree/internal/exact"
 	"replicatree/internal/experiments"
 	"replicatree/internal/gen"
@@ -620,7 +621,7 @@ func BenchmarkE13_ConjectureProbe(b *testing.B) {
 // benchWarmSolve measures Engine.Solve on a ~200-node binary instance
 // through the public seam, cold (fresh heap per solve) or warm
 // (scratch-backed session buffers, zero allocations once ingested).
-// The cold/warm pairs are the recorded trajectory of BENCH_006.json
+// The cold/warm pairs are the recorded trajectory of BENCH_007.json
 // (cmd/benchrec runs the same shapes).
 func benchWarmSolve(b *testing.B, name string, warm bool) {
 	rng := rand.New(rand.NewSource(97))
@@ -662,3 +663,76 @@ func BenchmarkWarmMultipleGreedyCold(b *testing.B) { benchWarmSolve(b, solver.Mu
 func BenchmarkWarmMultipleGreedyWarm(b *testing.B) { benchWarmSolve(b, solver.MultipleGreedy, true) }
 func BenchmarkWarmLPRoundCold(b *testing.B)        { benchWarmSolve(b, solver.LPRound, false) }
 func BenchmarkWarmLPRoundWarm(b *testing.B)        { benchWarmSolve(b, solver.LPRound, true) }
+
+// benchDeltaMutate measures one mutate-and-re-solve cycle at three
+// service levels: "cold" re-solves the mutated instance from scratch
+// (fresh allocations), "warm" re-solves on pooled scratch buffers, and
+// "delta" drives a delta.Session whose incremental core recomputes
+// only the dirtied root paths. The ≥10× delta-vs-cold separation on
+// the 2k-node tree is an acceptance bar recorded in BENCH_007.json.
+func benchDeltaMutate(b *testing.B, internals int, mode string) {
+	rng := rand.New(rand.NewSource(97))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: internals, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+	}, true)
+	if in.W < in.Tree.MaxRequests() {
+		in.W = in.Tree.MaxRequests()
+	}
+	clients := in.Tree.Clients()
+	ctx := context.Background()
+
+	if mode == "delta" {
+		s, err := delta.New(in, solver.SingleGen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Resolve(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := clients[i%len(clients)]
+			if err := s.Apply([]delta.Mutation{{Op: delta.OpSetRequest, Node: c, Requests: int64(1 + i%10)}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Resolve(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+
+	eng := solver.MustLookup(solver.SingleGen)
+	ed := tree.NewEditor(in.Tree)
+	work := &core.Instance{Tree: ed.Tree(), W: in.W, DMax: in.DMax}
+	req := solver.Request{Instance: work}
+	if mode == "warm" {
+		req.Scratch = solver.NewScratch()
+	}
+	if _, err := eng.Solve(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := clients[i%len(clients)]
+		if err := ed.SetRequests(c, int64(1+i%10)); err != nil {
+			b.Fatal(err)
+		}
+		// A fresh wrapper forces scratch re-ingestion of the mutated
+		// tree, mirroring what a stateless consumer would do.
+		req.Instance = &core.Instance{Tree: ed.Tree(), W: in.W, DMax: in.DMax}
+		if _, err := eng.Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeltaColdSolve200(b *testing.B) { benchDeltaMutate(b, 150, "cold") }
+func BenchmarkDeltaWarmSolve200(b *testing.B) { benchDeltaMutate(b, 150, "warm") }
+func BenchmarkDeltaMutate200(b *testing.B)    { benchDeltaMutate(b, 150, "delta") }
+func BenchmarkDeltaColdSolve2k(b *testing.B)  { benchDeltaMutate(b, 1500, "cold") }
+func BenchmarkDeltaWarmSolve2k(b *testing.B)  { benchDeltaMutate(b, 1500, "warm") }
+func BenchmarkDeltaMutate2k(b *testing.B)     { benchDeltaMutate(b, 1500, "delta") }

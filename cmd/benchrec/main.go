@@ -1,12 +1,16 @@
-// Command benchrec records the cold-vs-warm solve benchmark
-// trajectory as a machine-readable JSON document. It runs the same
-// shapes as the BenchmarkWarm* series in bench_test.go — Engine.Solve
-// on a ~200-node binary instance, once allocating per solve (cold)
-// and once on scratch-backed session buffers (warm) — via
-// testing.Benchmark, and writes ns/op, B/op and allocs/op per
-// (engine, mode) pair.
+// Command benchrec records the solve benchmark trajectory as a
+// machine-readable JSON document. Two series:
 //
-// The committed BENCH_006.json at the repository root is a recorded
+//   - cold vs warm: the BenchmarkWarm* shapes of bench_test.go —
+//     Engine.Solve on a ~200-node binary instance, once allocating per
+//     solve (cold) and once on scratch-backed session buffers (warm).
+//   - delta: the BenchmarkDelta* shapes — one mutate-and-re-solve
+//     cycle on ~200- and ~2k-node trees, as a cold solve, a warm
+//     solve, and a delta.Session incremental resolve. The committed
+//     document pins the instance-session acceptance bar: delta ≥10×
+//     faster than cold on the 2k-node tree.
+//
+// The committed BENCH_007.json at the repository root is a recorded
 // run of this command; CI re-runs it on every push and uploads the
 // fresh document as a build artifact, so the trajectory of the
 // zero-alloc hot path stays observable over time without gating merges
@@ -14,7 +18,7 @@
 //
 // Usage:
 //
-//	benchrec                  # writes BENCH_006.json
+//	benchrec                  # writes BENCH_007.json
 //	benchrec -o out.json      # custom output path
 //	benchrec -benchtime 200ms # faster, noisier (CI smoke uses this)
 package main
@@ -31,12 +35,15 @@ import (
 	"time"
 
 	"replicatree/internal/core"
+	"replicatree/internal/delta"
 	"replicatree/internal/gen"
 	"replicatree/internal/solver"
+	"replicatree/internal/tree"
 )
 
-// Schema identifies the document layout for downstream tooling.
-const Schema = "replicatree-bench/v1"
+// Schema identifies the document layout for downstream tooling
+// (v2 added the delta mutate-and-re-solve series).
+const Schema = "replicatree-bench/v2"
 
 // warmEngines is the scratch-capable engine set (mirrors the
 // TestAllocs gate in warm_test.go).
@@ -58,6 +65,23 @@ type Document struct {
 	GOARCH   string   `json:"goarch"`
 	Instance Shape    `json:"instance"`
 	Results  []Result `json:"results"`
+	// Delta is the mutate-and-re-solve series: one mutation + re-solve
+	// cycle per op, per tree size and service level.
+	Delta []DeltaResult `json:"delta"`
+}
+
+// DeltaResult is one (nodes, mode) mutate-and-re-solve measurement.
+// Mode "cold" re-solves the mutated instance from scratch, "warm"
+// re-solves on pooled scratch buffers, "delta" resolves incrementally
+// through a delta.Session.
+type DeltaResult struct {
+	Engine      string  `json:"engine"`
+	Mode        string  `json:"mode"` // "cold" | "warm" | "delta"
+	Nodes       int     `json:"nodes"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // Shape describes the benchmark instance.
@@ -101,7 +125,7 @@ func benchInstance(withDistance bool) *core.Instance {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrec", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_006.json", "output path ('-' for stdout)")
+	out := fs.String("o", "BENCH_007.json", "output path ('-' for stdout)")
 	benchtime := fs.Duration("benchtime", time.Second, "target run time per (engine, mode) measurement")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,6 +200,18 @@ func run(args []string) error {
 		}
 	}
 
+	for _, internals := range []int{150, 1500} {
+		for _, mode := range []string{"cold", "warm", "delta"} {
+			res, err := measureDelta(ctx, internals, mode)
+			if err != nil {
+				return err
+			}
+			doc.Delta = append(doc.Delta, res)
+			fmt.Fprintf(os.Stderr, "%-16s %-5s %5d nodes %12.0f ns/op %8d B/op %6d allocs/op\n",
+				"delta/"+solver.SingleGen, mode, res.Nodes, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -186,4 +222,87 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// deltaInstance mirrors the BenchmarkDelta* instance: a seed-97
+// binary tree with the requested internal-node count.
+func deltaInstance(internals int) *core.Instance {
+	rng := rand.New(rand.NewSource(97))
+	in := gen.RandomInstance(rng, gen.TreeConfig{
+		Internals: internals, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+	}, true)
+	if in.W < in.Tree.MaxRequests() {
+		in.W = in.Tree.MaxRequests()
+	}
+	return in
+}
+
+// measureDelta benchmarks one mutate-and-re-solve cycle (mirrors
+// benchDeltaMutate in bench_test.go).
+func measureDelta(ctx context.Context, internals int, mode string) (DeltaResult, error) {
+	in := deltaInstance(internals)
+	clients := in.Tree.Clients()
+	res := DeltaResult{Engine: solver.SingleGen, Mode: mode, Nodes: in.Tree.Len()}
+
+	var benchErr error
+	var r testing.BenchmarkResult
+	if mode == "delta" {
+		s, err := delta.New(in, solver.SingleGen)
+		if err != nil {
+			return res, err
+		}
+		defer s.Close()
+		if _, err := s.Resolve(ctx); err != nil {
+			return res, err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := clients[i%len(clients)]
+				if err := s.Apply([]delta.Mutation{{Op: delta.OpSetRequest, Node: c, Requests: int64(1 + i%10)}}); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if _, err := s.Resolve(ctx); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+	} else {
+		eng := solver.MustLookup(solver.SingleGen)
+		ed := tree.NewEditor(in.Tree)
+		req := solver.Request{Instance: &core.Instance{Tree: ed.Tree(), W: in.W, DMax: in.DMax}}
+		if mode == "warm" {
+			req.Scratch = solver.NewScratch()
+		}
+		if _, err := eng.Solve(ctx, req); err != nil {
+			return res, err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := clients[i%len(clients)]
+				if err := ed.SetRequests(c, int64(1+i%10)); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				// A fresh wrapper forces scratch re-ingestion of the
+				// mutated tree.
+				req.Instance = &core.Instance{Tree: ed.Tree(), W: in.W, DMax: in.DMax}
+				if _, err := eng.Solve(ctx, req); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+	}
+	if benchErr != nil {
+		return res, fmt.Errorf("delta %s (%d nodes): %v", mode, res.Nodes, benchErr)
+	}
+	res.Iterations = r.N
+	res.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+	res.BytesPerOp = r.AllocedBytesPerOp()
+	res.AllocsPerOp = r.AllocsPerOp()
+	return res, nil
 }

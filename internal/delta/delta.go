@@ -1,0 +1,365 @@
+// Package delta implements stateful instance sessions with
+// mutate-and-resolve: a Session owns a mutable copy of one instance,
+// its last solution and pooled solver working memory, and re-solves
+// after typed mutations instead of solving from scratch.
+//
+// Three re-solve strategies, picked by the session's engine:
+//
+//   - single-gen runs the truly incremental Algorithm 1 (geninc.go):
+//     mutations dirty only the touched root paths, the re-solve
+//     recomputes just those, and the result is pinned equal to a cold
+//     solve of the mutated instance.
+//   - delta-capable engines (multiple-replan) receive the previous
+//     solution via Request.Previous and the failed-server set via
+//     Request.Exclude; the engine minimises churn itself.
+//   - every other engine falls back to a full warm solve on the
+//     session's pooled scratch; the session derives the churn with
+//     multiple.PlanDelta.
+//
+// In all three cases Resolve reports the churn against the previous
+// resolve in Report.Churn, and the solution/churn returned are owned
+// by the caller (cloned out of session state). A Session is safe for
+// concurrent use.
+package delta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/multiple"
+	"replicatree/internal/solver"
+	"replicatree/internal/tree"
+)
+
+// Op names a mutation kind. The string values are the wire format of
+// the /v2/instances mutate endpoint.
+type Op string
+
+const (
+	// OpAddClient appends a new leaf client under Parent with edge
+	// length Dist, rate Requests and optional Label. Node IDs stay
+	// dense and stable; the new client's ID is returned via Session
+	// state (it is always the previous node count).
+	OpAddClient Op = "add_client"
+	// OpRemoveClient zeroes the rate of client Node. IDs are never
+	// renumbered: a removed client stays as an idle leaf, which keeps
+	// every incremental table and the canonical shape stable.
+	OpRemoveClient Op = "remove_client"
+	// OpSetRequest sets the rate of client Node to Requests.
+	OpSetRequest Op = "set_request"
+	// OpFailServer marks Node as unable to host replicas. Only
+	// delta-capable engines (multiple-replan) honour failures; other
+	// sessions reject the op.
+	OpFailServer Op = "fail_server"
+	// OpSetEdgeLength sets the length of the edge above Node to Dist.
+	OpSetEdgeLength Op = "set_edge_length"
+	// OpSetCapacity sets the per-server capacity to W.
+	OpSetCapacity Op = "set_capacity"
+)
+
+// Mutation is one typed mutation; which fields matter depends on Op.
+type Mutation struct {
+	Op       Op          `json:"op"`
+	Node     tree.NodeID `json:"node,omitempty"`
+	Parent   tree.NodeID `json:"parent,omitempty"`
+	Dist     int64       `json:"dist,omitempty"`
+	Requests int64       `json:"requests,omitempty"`
+	W        int64       `json:"w,omitempty"`
+	Label    string      `json:"label,omitempty"`
+}
+
+// Session is a long-lived mutable instance bound to one engine. Create
+// with New, mutate with Apply, re-solve with Resolve, release with
+// Close.
+type Session struct {
+	mu sync.Mutex
+
+	id     string // canonical hash of the instance at creation
+	engine solver.Engine
+	ed     *tree.Editor
+	w      int64
+	dmax   int64
+
+	sc     *solver.Scratch
+	inc    *genInc        // non-nil only for single-gen sessions
+	prev   *core.Solution // last solution (session-owned clone); nil before first resolve
+	last   solver.Report  // last successful report (solution/churn are caller clones)
+	solved bool
+	failed []tree.NodeID // sorted failed-server set (delta engines only)
+}
+
+// New creates a session over a private copy of in, bound to the named
+// engine. The instance is validated once; the session's identity is
+// its canonical hash at this point (mutations do not change the ID).
+func New(in *core.Instance, engineName string) (*Session, error) {
+	if in == nil {
+		return nil, errors.New("delta: nil instance")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := solver.Lookup(engineName)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		id:     in.CanonicalHash(),
+		engine: eng,
+		ed:     tree.NewEditor(in.Tree),
+		w:      in.W,
+		dmax:   in.DMax,
+		sc:     solver.GetScratch(),
+	}
+	if engineName == solver.SingleGen {
+		s.inc = &genInc{w: in.W, dmax: in.DMax}
+	}
+	return s, nil
+}
+
+// ID returns the canonical hash of the instance the session was
+// created from. It identifies the session, not the current mutated
+// instance (whose hash drifts with every mutation).
+func (s *Session) ID() string { return s.id }
+
+// Engine returns the bound engine's name.
+func (s *Session) Engine() string { return s.engine.Name() }
+
+// Instance returns an independent snapshot of the current (mutated)
+// instance, safe to solve cold while the session keeps mutating.
+func (s *Session) Instance() *core.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &core.Instance{Tree: s.ed.Tree().Clone(), W: s.w, DMax: s.dmax}
+}
+
+// Failed returns the current failed-server set.
+func (s *Session) Failed() []tree.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slices.Clone(s.failed)
+}
+
+// Report returns the last successful resolve's report, if any.
+func (s *Session) Report() (solver.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.solved
+}
+
+// Close releases the pooled solver scratch. The session must not be
+// used afterwards.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	solver.PutScratch(s.sc)
+	s.sc = nil
+}
+
+// Apply applies mutations in order. The first invalid mutation aborts
+// the batch with an error; mutations before it remain applied (each
+// leaves the instance valid, so the session stays consistent — dirty
+// state simply accumulates until the next Resolve).
+func (s *Session) Apply(muts []Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range muts {
+		if err := s.apply(&muts[i]); err != nil {
+			return fmt.Errorf("delta: mutation %d (%s): %w", i, muts[i].Op, err)
+		}
+	}
+	return nil
+}
+
+func (s *Session) apply(m *Mutation) error {
+	switch m.Op {
+	case OpAddClient:
+		if _, err := s.ed.AddLeaf(m.Parent, m.Dist, m.Requests, m.Label); err != nil {
+			return err
+		}
+		if s.inc != nil {
+			s.inc.invalidate()
+		}
+	case OpRemoveClient:
+		if err := s.ed.SetRequests(m.Node, 0); err != nil {
+			return err
+		}
+		if s.inc != nil {
+			s.inc.setRequest(m.Node, 0)
+		}
+	case OpSetRequest:
+		if err := s.ed.SetRequests(m.Node, m.Requests); err != nil {
+			return err
+		}
+		if s.inc != nil {
+			s.inc.setRequest(m.Node, m.Requests)
+		}
+	case OpSetEdgeLength:
+		if err := s.ed.SetEdgeLen(m.Node, m.Dist); err != nil {
+			return err
+		}
+		if s.inc != nil {
+			s.inc.setEdgeLen(m.Node, m.Dist)
+		}
+	case OpSetCapacity:
+		if m.W <= 0 {
+			return fmt.Errorf("non-positive capacity W=%d", m.W)
+		}
+		s.w = m.W
+		if s.inc != nil {
+			s.inc.setCapacity(m.W)
+		}
+	case OpFailServer:
+		if !s.engine.Capabilities().Delta {
+			return fmt.Errorf("engine %s cannot honour failed servers (delta engines only)", s.engine.Name())
+		}
+		if !s.ed.Tree().Valid(m.Node) {
+			return fmt.Errorf("unknown node %d", m.Node)
+		}
+		if _, ok := slices.BinarySearch(s.failed, m.Node); !ok {
+			s.failed = append(s.failed, m.Node)
+			slices.Sort(s.failed)
+		}
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
+	return nil
+}
+
+// SetFailed replaces the failed-server set wholesale — the natural
+// shape for failure replay, where servers fail and recover. Only valid
+// on delta-capable sessions.
+func (s *Session) SetFailed(failed []tree.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.engine.Capabilities().Delta {
+		return fmt.Errorf("delta: engine %s cannot honour failed servers (delta engines only)", s.engine.Name())
+	}
+	t := s.ed.Tree()
+	for _, j := range failed {
+		if !t.Valid(j) {
+			return fmt.Errorf("delta: unknown node %d", j)
+		}
+	}
+	s.failed = slices.Clone(failed)
+	slices.Sort(s.failed)
+	s.failed = slices.Compact(s.failed)
+	return nil
+}
+
+// Resolve re-solves the current instance. The returned report's
+// Solution and Churn are caller-owned; Churn always compares against
+// the previous successful resolve (all-added on the first). A failed
+// resolve leaves the previous solution and the accumulated dirty
+// state untouched, so a later mutation can repair the instance.
+func (s *Session) Resolve(ctx context.Context) (solver.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sc == nil {
+		return solver.Report{}, errors.New("delta: session is closed")
+	}
+	var (
+		rep solver.Report
+		err error
+	)
+	switch {
+	case s.inc != nil:
+		rep, err = s.resolveInc(ctx)
+	case s.engine.Capabilities().Delta:
+		rep, err = s.resolveDelta(ctx)
+	default:
+		rep, err = s.resolveWarm(ctx)
+	}
+	if err != nil {
+		return rep, err
+	}
+	s.last = rep
+	s.solved = true
+	return rep, nil
+}
+
+// resolveInc runs the incremental Algorithm 1.
+func (s *Session) resolveInc(ctx context.Context) (solver.Report, error) {
+	begin := time.Now()
+	rep := solver.Report{Engine: solver.SingleGen, Policy: core.Single}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	g := s.inc
+	if err := g.resolve(s.ed.Tree()); err != nil {
+		rep.Elapsed = time.Since(begin)
+		if !instanceFeasibleSingle(g) {
+			err = solver.MarkInfeasible(err)
+		}
+		return rep, err
+	}
+	rep.Solution = g.sol.Clone()
+	rep.LowerBound = g.lb
+	if rep.LowerBound > 0 {
+		rep.Gap = float64(rep.Solution.NumReplicas()-rep.LowerBound) / float64(rep.LowerBound)
+	}
+	rep.Churn = &multiple.Churn{
+		Added:         slices.Clone(g.added),
+		Removed:       slices.Clone(g.removed),
+		MovedRequests: g.moved,
+	}
+	rep.Elapsed = time.Since(begin)
+	s.prev = rep.Solution.Clone()
+	return rep, nil
+}
+
+// instanceFeasibleSingle mirrors engineCore's infeasibility
+// classification for the incremental path without re-walking the tree.
+func instanceFeasibleSingle(g *genInc) bool {
+	for _, r := range g.f.Reqs {
+		if r > g.w {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveDelta hands the previous solution and failure set to a
+// delta-capable engine.
+func (s *Session) resolveDelta(ctx context.Context) (solver.Report, error) {
+	wrap := &core.Instance{Tree: s.ed.Tree(), W: s.w, DMax: s.dmax}
+	rep, err := s.engine.Solve(ctx, solver.Request{
+		Instance: wrap,
+		Previous: s.prev,
+		Exclude:  s.failed,
+		Scratch:  s.sc,
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Solution = rep.Solution.Clone()
+	s.prev = rep.Solution.Clone()
+	return rep, nil
+}
+
+// resolveWarm is the full warm solve fallback for engines without a
+// delta path: re-solve on the pooled scratch, derive churn afterwards.
+func (s *Session) resolveWarm(ctx context.Context) (solver.Report, error) {
+	// A fresh instance wrapper forces scratch re-ingestion: the tree
+	// was mutated in place, and the scratch's ingest key is pointer
+	// identity.
+	wrap := &core.Instance{Tree: s.ed.Tree(), W: s.w, DMax: s.dmax}
+	rep, err := s.engine.Solve(ctx, solver.Request{Instance: wrap, Scratch: s.sc})
+	if err != nil {
+		return rep, err
+	}
+	sol := rep.Solution.Clone() // the warm solution is scratch-owned
+	prev := s.prev
+	if prev == nil {
+		prev = &core.Solution{}
+	}
+	ch := multiple.PlanDelta(s.ed.Tree(), prev, sol)
+	rep.Solution = sol
+	rep.Churn = &ch
+	s.prev = sol.Clone()
+	return rep, nil
+}

@@ -69,16 +69,30 @@ func PlanDelta(t *tree.Tree, old, new *core.Solution) Churn {
 // counts — that is the price of stability; compare with Best to see
 // the gap.
 func Replan(in *core.Instance, old *core.Solution) (*core.Solution, Churn, error) {
+	return ReplanExcluding(in, old, nil)
+}
+
+// ReplanExcluding is Replan with a set of forbidden replica sites —
+// failed servers that must host nothing in the new placement. Old
+// replicas on excluded nodes are dropped before adaptation (their
+// clients' demand is re-homed like any other stuck demand) and
+// excluded nodes never enter the growth pool.
+func ReplanExcluding(in *core.Instance, old *core.Solution, excluded []tree.NodeID) (*core.Solution, Churn, error) {
 	if err := in.Validate(); err != nil {
 		return nil, Churn{}, err
 	}
 	t := in.Tree
+	down := make(map[tree.NodeID]bool, len(excluded))
+	for _, x := range excluded {
+		down[x] = true
+	}
 	// Sanitise the old replica set against the new tree (nodes must
-	// exist; stale assignments are discarded — only locations count).
+	// exist and be up; stale assignments are discarded — only
+	// locations count).
 	oldSet := make(map[tree.NodeID]bool)
 	var R []tree.NodeID
 	for _, r := range old.Replicas {
-		if t.Valid(r) && !oldSet[r] {
+		if t.Valid(r) && !oldSet[r] && !down[r] {
 			oldSet[r] = true
 			R = append(R, r)
 		}
@@ -92,6 +106,9 @@ func Replan(in *core.Instance, old *core.Solution) (*core.Solution, Churn, error
 	var pool []cand
 	for j := 0; j < t.Len(); j++ {
 		id := tree.NodeID(j)
+		if down[id] {
+			continue
+		}
 		var reach int64
 		for _, c := range t.Clients() {
 			if t.Requests(c) > 0 && in.CanServe(c, id) {

@@ -7,6 +7,10 @@
 //	POST /v2/batch    — enqueue an async job over many typed tasks
 //	GET  /v2/jobs/{id} — poll a batch job with full per-task reports
 //	GET  /v2/solvers  — every engine's Capabilities document
+//	PUT    /v2/instances/{id}          — open a stateful instance session
+//	POST   /v2/instances/{id}/mutate   — mutate a session, re-solve, report churn
+//	GET    /v2/instances/{id}/solution — the session's current placement
+//	DELETE /v2/instances/{id}          — drop a session
 //	POST /v1/solve    — deprecated: v2 minus bound/proof/work metadata
 //	POST /v1/batch    — deprecated: untyped tasks
 //	GET  /v1/jobs/{id} — deprecated: v1 rendering of the same jobs
@@ -53,6 +57,11 @@ type Options struct {
 	JobWorkers   int
 	JobQueue     int
 	JobRetention int
+	// MaxInstances bounds live instance sessions (default
+	// DefaultMaxInstances); InstanceTTL evicts sessions idle for that
+	// long (default DefaultInstanceTTL).
+	MaxInstances int
+	InstanceTTL  time.Duration
 }
 
 // DefaultCacheSize is the cache bound used by cmd/replicad unless
@@ -62,21 +71,23 @@ const DefaultCacheSize = 1024
 // Server is the placement service. Create one with New, mount it as
 // an http.Handler, and Close it on shutdown.
 type Server struct {
-	cache   *Cache
-	metrics *Metrics
-	jobs    *JobManager
-	mux     *http.ServeMux
-	started time.Time
+	cache     *Cache
+	metrics   *Metrics
+	jobs      *JobManager
+	instances *instanceStore
+	mux       *http.ServeMux
+	started   time.Time
 }
 
 // New assembles a Server.
 func New(opt Options) *Server {
 	s := &Server{
-		cache:   NewCache(opt.CacheSize),
-		metrics: NewMetrics(),
-		jobs:    NewJobManager(opt.JobWorkers, opt.JobQueue, opt.JobRetention),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		cache:     NewCache(opt.CacheSize),
+		metrics:   NewMetrics(),
+		jobs:      NewJobManager(opt.JobWorkers, opt.JobQueue, opt.JobRetention),
+		instances: newInstanceStore(opt.MaxInstances, opt.InstanceTTL),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -86,6 +97,10 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v2/batch", s.handleBatchV2)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
 	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
+	s.mux.HandleFunc("PUT /v2/instances/{id}", s.handleInstancePut)
+	s.mux.HandleFunc("POST /v2/instances/{id}/mutate", s.handleInstanceMutate)
+	s.mux.HandleFunc("GET /v2/instances/{id}/solution", s.handleInstanceSolution)
+	s.mux.HandleFunc("DELETE /v2/instances/{id}", s.handleInstanceDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -96,9 +111,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close shuts the job pool down; in-flight jobs are cancelled.
+// Close shuts the job pool down and drops every instance session;
+// in-flight jobs are cancelled.
 func (s *Server) Close() {
 	s.jobs.Close()
+	s.instances.close()
 }
 
 // CacheStats exposes the cache counters (also part of /metrics).

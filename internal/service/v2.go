@@ -68,9 +68,12 @@ type SolveResponseV2 struct {
 	// with core.Verify before they are returned or cached.
 	Verified bool `json:"verified"`
 	// Cached reports whether the solution came from the result cache.
-	Cached    bool           `json:"cached"`
-	ElapsedMS float64        `json:"elapsed_ms"`
-	Solution  *core.Solution `json:"solution"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Churn is present when the engine adapted a previous placement
+	// (delta engines): what changed relative to it.
+	Churn    *ChurnDoc      `json:"churn,omitempty"`
+	Solution *core.Solution `json:"solution"`
 }
 
 // BatchRequestV2 is the body of POST /v2/batch.
@@ -128,8 +131,12 @@ type CapabilityDoc struct {
 	Exact        bool   `json:"exact"`
 	SupportsDMax bool   `json:"supports_dmax"`
 	Hetero       bool   `json:"hetero"`
-	Cost         string `json:"cost"`
-	Description  string `json:"description"`
+	// Delta marks engines that adapt a previous placement (honouring
+	// excluded servers and minimising churn) instead of solving cold;
+	// they power the /v2/instances sessions.
+	Delta       bool   `json:"delta,omitempty"`
+	Cost        string `json:"cost"`
+	Description string `json:"description"`
 }
 
 // Problem is an RFC 7807 error document, the body of every non-2xx
@@ -154,6 +161,10 @@ const (
 	ProblemClientClosed    = "urn:replicatree:problem:client-closed-request"
 	ProblemUnknownJob      = "urn:replicatree:problem:unknown-job"
 	ProblemOverloaded      = "urn:replicatree:problem:overloaded"
+	// Instance-session problems (the /v2/instances endpoints).
+	ProblemUnknownInstance    = "urn:replicatree:problem:unknown-instance"
+	ProblemHashMismatch       = "urn:replicatree:problem:canonical-hash-mismatch"
+	ProblemInfeasibleMutation = "urn:replicatree:problem:infeasible-after-mutation"
 )
 
 // problem builds a Problem from its parts.
@@ -305,6 +316,7 @@ func (s *Server) handleSolveV2(w http.ResponseWriter, r *http.Request) {
 		Verified:   true,
 		Cached:     out.cached,
 		ElapsedMS:  durMS(time.Since(begin)),
+		Churn:      churnDoc(rep.Churn),
 		Solution:   rep.Solution,
 	})
 }
@@ -401,6 +413,7 @@ func (s *Server) handleSolversV2(w http.ResponseWriter, r *http.Request) {
 			Exact:        c.Exact,
 			SupportsDMax: c.SupportsDMax,
 			Hetero:       c.Hetero,
+			Delta:        c.Delta,
 			Cost:         c.Cost.String(),
 			Description:  c.Description,
 		}

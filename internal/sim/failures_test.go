@@ -1,13 +1,25 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
-	"replicatree/internal/multiple"
+	"replicatree/internal/solver"
 	"replicatree/internal/tree"
 )
+
+// enginePlacement solves through the registry's Request/Report
+// contract — the simulator's tests exercise the same seam every other
+// consumer uses, not package-level solve functions.
+func enginePlacement(t *testing.T, name string, in *core.Instance) *core.Solution {
+	t.Helper()
+	rep, err := solver.MustLookup(name).Solve(context.Background(), solver.Request{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Solution
+}
 
 // failInst: root and hub both replicas with spare capacity, so a hub
 // failure can be absorbed by the root.
@@ -20,11 +32,7 @@ func failInst(t *testing.T) (*core.Instance, *core.Solution) {
 	b.Client(hub, 1, 5, "c2")
 	b.Client(root, 1, 4, "c3")
 	in := &core.Instance{Tree: b.MustBuild(), W: 20, DMax: core.NoDistance}
-	sol, err := multiple.Bin(in)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return in, sol
+	return in, enginePlacement(t, solver.MultipleBin, in)
 }
 
 func TestNoFailuresMatchesPlainRun(t *testing.T) {
@@ -50,10 +58,7 @@ func TestFailureAbsorbedBySpareCapacity(t *testing.T) {
 	}
 	// Shrink W to force two replicas, then fail one.
 	in.W = 11
-	sol2, err := multiple.Bin(in)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol2 := enginePlacement(t, solver.MultipleBin, in)
 	if sol2.NumReplicas() < 2 {
 		t.Fatalf("expected ≥ 2 replicas at W=11, got %v", sol2)
 	}
@@ -88,10 +93,7 @@ func TestFailureAbsorbedBySpareCapacity(t *testing.T) {
 func TestFailureRecovery(t *testing.T) {
 	in, _ := failInst(t)
 	in.W = 11
-	sol, err := multiple.Bin(in)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.MultipleBin, in)
 	srv := sol.Replicas[0]
 	// Down only for steps 2..3; afterwards clean again.
 	fm, err := RunWithFailures(in, core.Multiple, sol, Config{Steps: 8},
@@ -118,10 +120,7 @@ func TestSinglePolicyFailoverIsAllOrNothing(t *testing.T) {
 	b.Client(hub, 1, 9, "c1")
 	b.Client(root, 1, 2, "c2")
 	in := &core.Instance{Tree: b.MustBuild(), W: 10, DMax: core.NoDistance}
-	sol, err := exact.SolveSingle(in, exact.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.ExactSingle, in)
 	if sol.NumReplicas() != 2 {
 		t.Fatalf("want 2 replicas (9+2 > 10), got %v", sol)
 	}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+
+	"replicatree/internal/core"
+	"replicatree/internal/delta"
+	"replicatree/internal/tree"
+)
+
+// ReplanMetrics extends FailureMetrics with re-planning accounting:
+// instead of greedily re-homing displaced demand onto the surviving
+// placement (RunWithFailures), RunWithReplan asks a delta engine for a
+// fresh placement excluding the failed servers, and measures how much
+// the placement churns while doing so.
+type ReplanMetrics struct {
+	FailureMetrics
+	// Replans counts failure-driven re-solves (the initial placement is
+	// not one).
+	Replans int
+	// ChurnAdded/ChurnRemoved total replica sites that appeared and
+	// disappeared across all replans; ChurnMoved totals the request
+	// volume that changed servers.
+	ChurnAdded   int
+	ChurnRemoved int
+	ChurnMoved   int64
+}
+
+// RunWithReplan replays a failure schedule against a live delta
+// session (see internal/delta): whenever the set of failed servers
+// changes — a failure starts or heals — the session re-solves with the
+// failed servers excluded, and every client is served by the fresh
+// placement. Unlike RunWithFailures the failure schedule may name any
+// node, not just initially chosen replicas, and demand is never
+// stranded as long as each re-solve stays feasible (an infeasible
+// exclusion set aborts the run with the solver's error).
+//
+// The engine must be delta-capable (solver.MultipleReplan); demand is
+// the nominal rate every step, so the trace is deterministic.
+func RunWithReplan(in *core.Instance, engineName string, cfg Config, failures []Failure) (*ReplanMetrics, error) {
+	for _, f := range failures {
+		if f.Step < 0 {
+			return nil, fmt.Errorf("sim: negative failure step %d", f.Step)
+		}
+		if !in.Tree.Valid(f.Server) {
+			return nil, fmt.Errorf("sim: failure of invalid node %d", f.Server)
+		}
+	}
+	cfg = cfg.norm()
+	s, err := delta.New(in, engineName)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	rep, err := s.Resolve(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("sim: initial placement: %w", err)
+	}
+
+	t := in.Tree
+	m := &ReplanMetrics{}
+	m.Steps = cfg.Steps
+	m.PeakLoad = make(map[tree.NodeID]int64)
+	var latencySum float64
+	load := make(map[tree.NodeID]int64)
+	cur := rep.Solution
+	var prevDown []tree.NodeID
+
+	for step := 0; step < cfg.Steps; step++ {
+		var down []tree.NodeID
+		for _, f := range failures {
+			if step >= f.Step && (f.Until == 0 || step < f.Until) {
+				down = append(down, f.Server)
+			}
+		}
+		slices.Sort(down)
+		down = slices.Compact(down)
+		if !slices.Equal(down, prevDown) {
+			if err := s.SetFailed(down); err != nil {
+				return nil, fmt.Errorf("sim: step %d: %w", step, err)
+			}
+			rep, err = s.Resolve(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("sim: step %d: replan with %d failed servers: %w", step, len(down), err)
+			}
+			m.Replans++
+			if ch := rep.Churn; ch != nil {
+				m.ChurnAdded += len(ch.Added)
+				m.ChurnRemoved += len(ch.Removed)
+				m.ChurnMoved += ch.MovedRequests
+			}
+			cur = rep.Solution
+			prevDown = down
+		}
+
+		for k := range load {
+			load[k] = 0
+		}
+		for _, a := range cur.Assignments {
+			m.TotalEmitted += a.Amount
+			m.TotalServed += a.Amount
+			load[a.Server] += a.Amount
+			d := t.DistanceUp(a.Client, a.Server)
+			latencySum += float64(a.Amount) * float64(d)
+			if d > m.MaxLatency {
+				m.MaxLatency = d
+			}
+		}
+		for srv, l := range load {
+			if l > m.PeakLoad[srv] {
+				m.PeakLoad[srv] = l
+			}
+			if l > in.W {
+				m.OverloadSteps++
+				if l-in.W > m.MaxOverload {
+					m.MaxOverload = l - in.W
+				}
+			}
+		}
+	}
+	if m.TotalServed > 0 {
+		m.MeanLatency = latencySum / float64(m.TotalServed)
+	}
+	return m, nil
+}
+
+// Trace renders the metrics deterministically (PeakLoad in ascending
+// server order) — the currency of the byte-identical pinning tests.
+func (m *FailureMetrics) Trace() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "steps=%d emitted=%d served=%d unserved=%d rerouted=%d worst=%d degraded=%d\n",
+		m.Steps, m.TotalEmitted, m.TotalServed, m.Unserved, m.Rerouted, m.WorstStepUnserved, m.StepsDegraded)
+	fmt.Fprintf(&sb, "overload_steps=%d max_overload=%d max_latency=%d mean_latency=%.4f\n",
+		m.OverloadSteps, m.MaxOverload, m.MaxLatency, m.MeanLatency)
+	servers := make([]tree.NodeID, 0, len(m.PeakLoad))
+	for srv := range m.PeakLoad {
+		servers = append(servers, srv)
+	}
+	sort.Slice(servers, func(a, b int) bool { return servers[a] < servers[b] })
+	for _, srv := range servers {
+		fmt.Fprintf(&sb, "peak[%d]=%d\n", srv, m.PeakLoad[srv])
+	}
+	return sb.String()
+}
+
+// Trace renders the replan metrics deterministically, extending the
+// failure trace with the churn accounting.
+func (m *ReplanMetrics) Trace() string {
+	return m.FailureMetrics.Trace() +
+		fmt.Sprintf("replans=%d churn_added=%d churn_removed=%d churn_moved=%d\n",
+			m.Replans, m.ChurnAdded, m.ChurnRemoved, m.ChurnMoved)
+}

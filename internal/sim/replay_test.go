@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+	"replicatree/internal/tree"
+)
+
+// replayInst: hub and root can each hold one client cluster at W=11,
+// so failing one replica forces a real re-plan.
+func replayInst(t *testing.T) (*core.Instance, *core.Solution) {
+	t.Helper()
+	b := tree.NewBuilder()
+	root := b.Root("root")
+	hub := b.Internal(root, 1, "hub")
+	b.Client(hub, 1, 6, "c1")
+	b.Client(hub, 1, 5, "c2")
+	b.Client(root, 1, 4, "c3")
+	in := &core.Instance{Tree: b.MustBuild(), W: 11, DMax: core.NoDistance}
+	return in, enginePlacement(t, solver.MultipleBin, in)
+}
+
+// TestFailureTracePinned pins the greedy-failover trace byte for byte:
+// the simulator's routing, re-homing order and metric accounting are
+// regression currency, exactly like the golden solver corpus.
+func TestFailureTracePinned(t *testing.T) {
+	in, sol := replayInst(t)
+	fm, err := RunWithFailures(in, core.Multiple, sol, Config{Steps: 8},
+		[]Failure{{Server: sol.Replicas[0], Step: 3, Until: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `steps=8 emitted=120 served=108 unserved=12 rerouted=21 worst=4 degraded=3
+overload_steps=0 max_overload=0 max_latency=2 mean_latency=1.3241
+peak[0]=11
+peak[1]=11
+`
+	if got := fm.Trace(); got != want {
+		t.Fatalf("failure trace drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReplanTracePinned pins the delta-session replay of the same
+// failure schedule. Where greedy failover strands 12 request units,
+// re-planning with the failed server excluded serves everything — at
+// the cost of one replica of churn each way.
+func TestReplanTracePinned(t *testing.T) {
+	in, sol := replayInst(t)
+	rm, err := RunWithReplan(in, solver.MultipleReplan, Config{Steps: 8},
+		[]Failure{{Server: sol.Replicas[0], Step: 3, Until: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `steps=8 emitted=120 served=120 unserved=0 rerouted=0 worst=0 degraded=0
+overload_steps=0 max_overload=0 max_latency=2 mean_latency=1.0083
+peak[0]=11
+peak[1]=11
+peak[4]=4
+replans=2 churn_added=1 churn_removed=1 churn_moved=11
+`
+	if got := rm.Trace(); got != want {
+		t.Fatalf("replan trace drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReplanServesEverythingAcrossFailures(t *testing.T) {
+	in, sol := replayInst(t)
+	rm, err := RunWithReplan(in, solver.MultipleReplan, Config{Steps: 10},
+		[]Failure{{Server: sol.Replicas[0], Step: 2, Until: 5}, {Server: sol.Replicas[1], Step: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.TotalServed != rm.TotalEmitted {
+		t.Fatalf("replan stranded demand: served %d of %d", rm.TotalServed, rm.TotalEmitted)
+	}
+	if rm.OverloadSteps != 0 {
+		t.Fatalf("replan overloaded a server: %+v", rm)
+	}
+	// Fail, heal, fail again: three down-set changes, three replans.
+	if rm.Replans != 3 {
+		t.Fatalf("replans = %d, want 3", rm.Replans)
+	}
+	if rm.ChurnAdded == 0 || rm.ChurnRemoved == 0 {
+		t.Fatalf("replans reported no churn: %+v", rm)
+	}
+}
+
+func TestReplanValidation(t *testing.T) {
+	in, _ := replayInst(t)
+	if _, err := RunWithReplan(in, solver.MultipleReplan, Config{},
+		[]Failure{{Server: 99, Step: 0}}); err == nil {
+		t.Error("invalid node accepted")
+	}
+	if _, err := RunWithReplan(in, solver.MultipleReplan, Config{},
+		[]Failure{{Server: 0, Step: -1}}); err == nil {
+		t.Error("negative step accepted")
+	}
+	// Non-delta engines cannot honour failure sets.
+	if _, err := RunWithReplan(in, solver.MultipleBin, Config{Steps: 4},
+		[]Failure{{Server: 0, Step: 1}}); err == nil || !strings.Contains(err.Error(), "delta engines only") {
+		t.Errorf("non-delta engine: err = %v", err)
+	}
+	// With no failures a non-delta engine never needs SetFailed — but
+	// the run must still work end to end.
+	if _, err := RunWithReplan(in, solver.MultipleBin, Config{Steps: 4}, nil); err != nil {
+		t.Errorf("failure-free replay: %v", err)
+	}
+}

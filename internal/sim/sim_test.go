@@ -5,10 +5,8 @@ import (
 	"testing"
 
 	"replicatree/internal/core"
-	"replicatree/internal/exact"
 	"replicatree/internal/gen"
-	"replicatree/internal/multiple"
-	"replicatree/internal/single"
+	"replicatree/internal/solver"
 	"replicatree/internal/tree"
 )
 
@@ -24,10 +22,7 @@ func buildInst() *core.Instance {
 
 func TestRunDeterministic(t *testing.T) {
 	in := buildInst()
-	sol, err := single.Gen(in)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.SingleGen, in)
 	m, err := Run(in, core.Single, sol, Config{Steps: 50})
 	if err != nil {
 		t.Fatal(err)
@@ -53,10 +48,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestRunRespectsDMax(t *testing.T) {
 	in := buildInst()
 	in.DMax = 5
-	sol, err := single.Gen(in)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.SingleGen, in)
 	m, err := Run(in, core.Single, sol, Config{Steps: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -79,10 +71,7 @@ func TestRunRejectsInfeasible(t *testing.T) {
 
 func TestRunWithJitterConservation(t *testing.T) {
 	in := buildInst()
-	sol, err := multiple.Bin(in)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.MultipleBin, in)
 	m, err := Run(in, core.Multiple, sol, Config{Steps: 200, Jitter: 0.3, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -106,10 +95,7 @@ func TestRunJitterOverloadDetection(t *testing.T) {
 	b.Client(r, 1, 10, "c")
 	b.Client(r, 1, 1, "d")
 	in := &core.Instance{Tree: b.MustBuild(), W: 11, DMax: core.NoDistance}
-	sol, err := exact.SolveMultiple(in, exact.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sol := enginePlacement(t, solver.ExactMultiple, in)
 	if sol.NumReplicas() != 1 {
 		t.Fatalf("want 1 replica, got %v", sol)
 	}
@@ -127,7 +113,7 @@ func TestRunJitterOverloadDetection(t *testing.T) {
 
 func TestRunDefaultsAndClamping(t *testing.T) {
 	in := buildInst()
-	sol, _ := single.Gen(in)
+	sol := enginePlacement(t, solver.SingleGen, in)
 	m, err := Run(in, core.Single, sol, Config{Steps: 0, Jitter: -3})
 	if err != nil {
 		t.Fatal(err)
@@ -149,10 +135,7 @@ func TestSimAgreesWithVerifierOnRandom(t *testing.T) {
 			Internals: 1 + rng.Intn(8),
 			MaxArity:  2,
 		}, trial%2 == 0)
-		sol, err := multiple.Bin(in)
-		if err != nil {
-			t.Fatal(err)
-		}
+		sol := enginePlacement(t, solver.MultipleBin, in)
 		m, err := Run(in, core.Multiple, sol, Config{Steps: 20})
 		if err != nil {
 			t.Fatal(err)

@@ -63,6 +63,12 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 	if req.Instance == nil {
 		return rep, fmt.Errorf("solver %s: nil instance", Auto)
 	}
+	if len(req.Exclude) > 0 {
+		// Same gate engineCore applies to non-delta engines: dropping
+		// the constraint would place on a failed server.
+		return rep, tag(fmt.Errorf("solver %s: cannot honour excluded servers (delta engines only)",
+			Auto), ErrPolicyUnsupported)
+	}
 	in := req.Instance
 	budget := req.Budget
 	if budget <= 0 {
@@ -91,8 +97,11 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 	capable := 0
 	for _, e := range Engines() {
 		c := e.Capabilities()
-		if c.Name == Auto || c.Hetero {
-			continue // no self-recursion; hetero engines duplicate the uniform ones
+		if c.Name == Auto || c.Hetero || c.Delta {
+			// No self-recursion; hetero engines duplicate the uniform
+			// ones; delta engines optimise churn against a previous
+			// placement, not replica count, so they never compete.
+			continue
 		}
 		if !req.Policy.Allows(c.Policy) {
 			continue

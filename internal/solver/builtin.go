@@ -23,6 +23,7 @@ const (
 	MultipleLazy   = "multiple-lazy"   // lazy variant of Algorithm 3
 	MultipleBest   = "multiple-best"   // min(multiple-bin, multiple-lazy)
 	MultipleGreedy = "multiple-greedy" // general-arity generalisation of Algorithm 3
+	MultipleReplan = "multiple-replan" // churn-minimising adaptation of a previous placement
 	ExactSingle    = "exact-single"    // optimal Single branch-and-bound
 	ExactMultiple  = "exact-multiple"  // optimal Multiple set search + max-flow
 	LPRound        = "lp-round"        // LP relaxation support rounding, Multiple
@@ -111,6 +112,21 @@ func init() {
 	MustRegisterEngine(NewEngine(
 		caps(MultipleGreedy, core.Multiple, false, true, false, poly, "general-arity generalisation of Algorithm 3"),
 		warmable(multiple.Greedy, func(sc *Scratch) (*core.Solution, error) { return sc.multiple.Greedy() })))
+	MustRegisterEngine(NewDeltaEngine(
+		caps(MultipleReplan, core.Multiple, false, true, false, poly, "adapt a previous placement with minimal churn (delta engine)"),
+		func(_ context.Context, req Request) (*core.Solution, *multiple.Churn, int64, error) {
+			prev := req.Previous
+			if prev == nil {
+				// Replanning from nothing is a plain greedy build-up;
+				// the churn then counts every placement as new.
+				prev = &core.Solution{}
+			}
+			sol, churn, err := multiple.ReplanExcluding(req.Instance, prev, req.Exclude)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			return sol, &churn, 0, nil
+		}))
 	MustRegisterEngine(NewEngine(
 		caps(ExactSingle, core.Single, true, true, false, expo, "optimal Single via branch-and-bound over assignments"),
 		exactFn(exact.SolveSingle)))

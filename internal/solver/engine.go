@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"replicatree/internal/core"
+	"replicatree/internal/multiple"
+	"replicatree/internal/tree"
 )
 
 // This file is the v2 solver contract: a typed Request/Report pair
@@ -85,6 +87,16 @@ type Request struct {
 	// without a warm path ignore the field. A Scratch must never be
 	// shared across concurrent requests.
 	Scratch *Scratch
+	// Previous, when non-nil, hands a delta-capable engine
+	// (Capabilities.Delta) the placement it should adapt instead of
+	// solving from scratch; the engine minimises churn against it and
+	// reports the churn in Report.Churn. Non-delta engines ignore it.
+	Previous *core.Solution
+	// Exclude lists nodes that must not host replicas (failed
+	// servers). Only delta-capable engines honour it; handing a
+	// non-empty Exclude to any other engine is a typed
+	// ErrPolicyUnsupported, not a silent drop of the constraint.
+	Exclude []tree.NodeID
 }
 
 // Hint returns the named hint, or "" when unset.
@@ -119,6 +131,11 @@ type Report struct {
 	// the dispatched name except under the auto portfolio, which
 	// reports the winning candidate.
 	Engine string
+	// Churn, set only by delta-capable engines adapting a
+	// Request.Previous placement, quantifies the re-placement cost:
+	// replicas added/removed and request volume that changed servers.
+	// Nil everywhere else.
+	Churn *multiple.Churn
 }
 
 // Engine is the v2 solver contract. Implementations must be safe for
@@ -178,6 +195,11 @@ type Capabilities struct {
 	Hetero bool
 	// Cost is the engine's complexity class.
 	Cost CostClass
+	// Delta engines adapt a Request.Previous placement (minimising
+	// churn, honouring Request.Exclude) instead of optimising replica
+	// count from scratch; portfolios skip them — stability is a
+	// different objective than minimality.
+	Delta bool
 	// Description is a one-line human summary for catalogues.
 	Description string
 }
@@ -193,6 +215,9 @@ type engineCore struct {
 	// (0 when untracked). It sees the normalized request: Instance
 	// non-nil, Budget resolved against the deprecated context idiom.
 	fn func(ctx context.Context, req Request) (*core.Solution, int64, error)
+	// deltaFn, set only on Delta engines, additionally returns the
+	// churn against Request.Previous for Report.Churn.
+	deltaFn func(ctx context.Context, req Request) (*core.Solution, *multiple.Churn, int64, error)
 }
 
 // NewEngine wraps a solve function and its capability document as a
@@ -200,6 +225,15 @@ type engineCore struct {
 // gates, so fn can assume a non-nil instance that passed them.
 func NewEngine(caps Capabilities, fn func(ctx context.Context, req Request) (*core.Solution, int64, error)) Engine {
 	return &engineCore{caps: caps, fn: fn}
+}
+
+// NewDeltaEngine wraps a delta solve function — one that adapts
+// Request.Previous and reports churn — as a registrable Engine.
+// caps.Delta is forced true so the registry document matches the
+// behaviour.
+func NewDeltaEngine(caps Capabilities, fn func(ctx context.Context, req Request) (*core.Solution, *multiple.Churn, int64, error)) Engine {
+	caps.Delta = true
+	return &engineCore{caps: caps, deltaFn: fn}
 }
 
 func (e *engineCore) Name() string               { return e.caps.Name }
@@ -225,6 +259,12 @@ func (e *engineCore) Solve(ctx context.Context, req Request) (Report, error) {
 		return rep, tag(fmt.Errorf("solver %s: requires a NoD instance (dmax=%d is finite)",
 			e.caps.Name, req.Instance.DMax), ErrPolicyUnsupported)
 	}
+	if len(req.Exclude) > 0 && !e.caps.Delta {
+		// An excluded-server constraint silently dropped would return a
+		// "feasible" placement on a failed node; fail typed instead.
+		return rep, tag(fmt.Errorf("solver %s: cannot honour excluded servers (delta engines only)",
+			e.caps.Name), ErrPolicyUnsupported)
+	}
 	if req.Budget <= 0 {
 		req.Budget = BudgetFrom(ctx) // deprecated context idiom, still honoured
 	}
@@ -239,8 +279,19 @@ func (e *engineCore) Solve(ctx context.Context, req Request) (Report, error) {
 			return rep, err
 		}
 	}
-	sol, work, err := e.fn(ctx, req)
+	var (
+		sol   *core.Solution
+		churn *multiple.Churn
+		work  int64
+		err   error
+	)
+	if e.deltaFn != nil {
+		sol, churn, work, err = e.deltaFn(ctx, req)
+	} else {
+		sol, work, err = e.fn(ctx, req)
+	}
 	rep.Work = work
+	rep.Churn = churn
 	rep.Elapsed = time.Since(begin)
 	if err != nil {
 		if !req.Instance.Feasible(e.caps.Policy) {

@@ -32,6 +32,7 @@ func TestCapabilitiesPinned(t *testing.T) {
 		MultipleLazy:   {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
 		MultipleBest:   {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
 		MultipleGreedy: {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		MultipleReplan: {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial, Delta: true},
 		ExactSingle:    {Policy: core.Single, Exact: true, SupportsDMax: true, Cost: CostExponential},
 		ExactMultiple:  {Policy: core.Multiple, Exact: true, SupportsDMax: true, Cost: CostExponential},
 		LPRound:        {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
@@ -49,9 +50,9 @@ func TestCapabilitiesPinned(t *testing.T) {
 			t.Errorf("%s: capabilities name %q", name, c.Name)
 		}
 		if c.Policy != w.Policy || c.Exact != w.Exact || c.SupportsDMax != w.SupportsDMax ||
-			c.Hetero != w.Hetero || c.Cost != w.Cost {
-			t.Errorf("%s: capabilities %+v, want policy=%v exact=%v dmax=%v hetero=%v cost=%v",
-				name, c, w.Policy, w.Exact, w.SupportsDMax, w.Hetero, w.Cost)
+			c.Hetero != w.Hetero || c.Cost != w.Cost || c.Delta != w.Delta {
+			t.Errorf("%s: capabilities %+v, want policy=%v exact=%v dmax=%v hetero=%v cost=%v delta=%v",
+				name, c, w.Policy, w.Exact, w.SupportsDMax, w.Hetero, w.Cost, w.Delta)
 		}
 		if c.Description == "" {
 			t.Errorf("%s: empty description", name)
@@ -232,6 +233,64 @@ func TestShimRoundTrip(t *testing.T) {
 	c := foreign.Capabilities()
 	if c.Policy != core.Single || c.Exact || c.Cost != CostUnknown {
 		t.Errorf("foreign solver capabilities %+v, want explicit Single/heuristic/unknown", c)
+	}
+}
+
+// TestDeltaEngineContract pins the delta seam: multiple-replan adapts
+// Request.Previous (reporting churn), honours Request.Exclude, and
+// every non-delta engine rejects Exclude with a typed error instead of
+// silently placing on a failed server.
+func TestDeltaEngineContract(t *testing.T) {
+	ctx := context.Background()
+	in := nodInstance(t)
+	eng := MustLookup(MultipleReplan)
+	if !eng.Capabilities().Delta {
+		t.Fatal("multiple-replan does not declare Delta")
+	}
+
+	// From nothing: a plain feasible build-up, churn all-additions.
+	rep, err := eng.Solve(ctx, Request{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(in, core.Multiple, rep.Solution); err != nil {
+		t.Fatalf("replan-from-empty infeasible: %v", err)
+	}
+	if rep.Churn == nil || len(rep.Churn.Added) != rep.Solution.NumReplicas() || len(rep.Churn.Removed) != 0 {
+		t.Fatalf("replan-from-empty churn %+v, want all-added", rep.Churn)
+	}
+
+	// From itself: zero placement churn.
+	rep2, err := eng.Solve(ctx, Request{Instance: in, Previous: rep.Solution})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Churn == nil || len(rep2.Churn.Added) != 0 || len(rep2.Churn.Removed) != 0 {
+		t.Errorf("replan-from-self churn %+v, want none", rep2.Churn)
+	}
+
+	// Excluding a current replica forces it out of the new placement.
+	down := rep.Solution.Replicas[0]
+	rep3, err := eng.Solve(ctx, Request{Instance: in, Previous: rep.Solution, Exclude: []tree.NodeID{down}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep3.Solution.Replicas {
+		if r == down {
+			t.Fatalf("excluded server %d still hosts a replica", down)
+		}
+	}
+	if err := core.Verify(in, core.Multiple, rep3.Solution); err != nil {
+		t.Fatalf("replan-with-exclusion infeasible: %v", err)
+	}
+
+	// Non-delta engines (the portfolio included) must reject Exclude,
+	// typed.
+	for _, name := range []string{MultipleBest, SingleGen, ExactMultiple, Auto} {
+		_, err := MustLookup(name).Solve(ctx, Request{Instance: in, Exclude: []tree.NodeID{down}})
+		if !errors.Is(err, ErrPolicyUnsupported) {
+			t.Errorf("%s accepted Exclude: err = %v", name, err)
+		}
 	}
 }
 

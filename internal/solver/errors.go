@@ -37,3 +37,9 @@ func tag(err, sentinel error) error {
 	}
 	return &taggedError{err: err, sentinel: sentinel}
 }
+
+// MarkInfeasible attaches the ErrInfeasible sentinel to err without
+// changing its rendered message. It exists for out-of-package
+// cooperators (the delta session layer) that classify their own
+// failures but must stay on the solver sentinel taxonomy.
+func MarkInfeasible(err error) error { return tag(err, ErrInfeasible) }

@@ -1,0 +1,95 @@
+package tree
+
+import "fmt"
+
+// Editor mutates a private clone of a Tree in place. Trees are
+// documented immutable — every consumer may hold aliases into one —
+// so mutation is only safe on a copy with a single owner; Editor
+// enforces that ownership by cloning at construction and never
+// handing the clone out for further cloning-free sharing.
+//
+// The supported mutations are exactly the ones that keep node IDs
+// dense and stable: new leaves are appended (IDs only grow), request
+// rates and edge lengths are overwritten in place, and nothing is
+// ever removed (callers model client removal by zeroing the rate).
+// That stability is what lets incremental solvers keep per-NodeID
+// state across mutations.
+//
+// Every mutation validates its local invariant (the ones
+// Tree.Validate checks globally), so the edited tree is valid after
+// every successful call — there is no deferred "commit" step.
+type Editor struct {
+	t *Tree
+}
+
+// NewEditor returns an Editor over a private clone of t.
+func NewEditor(t *Tree) *Editor {
+	return &Editor{t: t.Clone()}
+}
+
+// Tree returns the edited tree. The pointer is stable across
+// mutations (mutations happen in place); callers that key caches on
+// tree identity must account for that.
+func (e *Editor) Tree() *Tree { return e.t }
+
+// AddLeaf appends a new client with the given rate under parent,
+// returning its ID (always the previous Len). The parent must be an
+// existing internal node: attaching under a client would turn it
+// into an internal node and silently drop its own requests.
+func (e *Editor) AddLeaf(parent NodeID, dist, requests int64, label string) (NodeID, error) {
+	t := e.t
+	if !t.Valid(parent) {
+		return None, fmt.Errorf("tree: edit: unknown parent %d", parent)
+	}
+	if t.IsClient(parent) {
+		return None, fmt.Errorf("tree: edit: parent %d is a client; leaves attach to internal nodes only", parent)
+	}
+	if dist < 0 || dist == Infinity {
+		return None, fmt.Errorf("tree: edit: invalid edge length %d", dist)
+	}
+	if requests < 0 {
+		return None, fmt.Errorf("tree: edit: negative requests %d", requests)
+	}
+	if len(t.nodes) >= 1<<30 {
+		return None, fmt.Errorf("tree: edit: too many nodes")
+	}
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, Node{Parent: parent, Dist: dist, Requests: requests, Label: label})
+	t.nodes[parent].Children = append(t.nodes[parent].Children, id)
+	return id, nil
+}
+
+// SetRequests overwrites the request rate of client j. Zero is
+// allowed — a zero-rate client is served vacuously — which is how
+// removal is modelled without renumbering IDs.
+func (e *Editor) SetRequests(j NodeID, requests int64) error {
+	t := e.t
+	if !t.Valid(j) {
+		return fmt.Errorf("tree: edit: unknown node %d", j)
+	}
+	if !t.IsClient(j) {
+		return fmt.Errorf("tree: edit: node %d is internal; only clients carry requests", j)
+	}
+	if requests < 0 {
+		return fmt.Errorf("tree: edit: negative requests %d", requests)
+	}
+	t.nodes[j].Requests = requests
+	return nil
+}
+
+// SetEdgeLen overwrites δj, the length of the edge from j to its
+// parent. The root has no such edge.
+func (e *Editor) SetEdgeLen(j NodeID, dist int64) error {
+	t := e.t
+	if !t.Valid(j) {
+		return fmt.Errorf("tree: edit: unknown node %d", j)
+	}
+	if j == t.root {
+		return fmt.Errorf("tree: edit: the root has no parent edge")
+	}
+	if dist < 0 || dist == Infinity {
+		return fmt.Errorf("tree: edit: invalid edge length %d", dist)
+	}
+	t.nodes[j].Dist = dist
+	return nil
+}

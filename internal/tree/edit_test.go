@@ -1,0 +1,131 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func editorFixture(t *testing.T) (*Tree, NodeID, NodeID) {
+	t.Helper()
+	var b Builder
+	root := b.Root("root")
+	n1 := b.Internal(root, 2, "n1")
+	b.Client(n1, 1, 5, "c1")
+	b.Client(root, 3, 7, "c2")
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return tr, root, n1
+}
+
+func TestEditorClonesInput(t *testing.T) {
+	tr, _, n1 := editorFixture(t)
+	before := tr.Len()
+	ed := NewEditor(tr)
+	if _, err := ed.AddLeaf(n1, 4, 2, "c3"); err != nil {
+		t.Fatalf("AddLeaf: %v", err)
+	}
+	if tr.Len() != before {
+		t.Fatalf("original tree grew to %d nodes; editor must clone", tr.Len())
+	}
+	if ed.Tree().Len() != before+1 {
+		t.Fatalf("edited tree has %d nodes, want %d", ed.Tree().Len(), before+1)
+	}
+}
+
+func TestEditorAddLeaf(t *testing.T) {
+	tr, root, n1 := editorFixture(t)
+	ed := NewEditor(tr)
+	id, err := ed.AddLeaf(n1, 4, 2, "c3")
+	if err != nil {
+		t.Fatalf("AddLeaf: %v", err)
+	}
+	if want := NodeID(tr.Len()); id != want {
+		t.Fatalf("new leaf id = %d, want dense append %d", id, want)
+	}
+	et := ed.Tree()
+	if err := et.Validate(); err != nil {
+		t.Fatalf("edited tree invalid: %v", err)
+	}
+	if et.Parent(id) != n1 || et.Dist(id) != 4 || et.Requests(id) != 2 || et.Label(id) != "c3" {
+		t.Fatalf("new leaf fields wrong: parent=%d dist=%d req=%d label=%q",
+			et.Parent(id), et.Dist(id), et.Requests(id), et.Label(id))
+	}
+
+	// Rejections: unknown parent, client parent, bad dist, bad rate.
+	cases := []struct {
+		parent         NodeID
+		dist, requests int64
+		frag           string
+	}{
+		{NodeID(et.Len() + 5), 1, 1, "unknown parent"},
+		{None, 1, 1, "unknown parent"},
+		{id, 1, 1, "is a client"},
+		{root, -1, 1, "invalid edge length"},
+		{root, Infinity, 1, "invalid edge length"},
+		{root, 1, -1, "negative requests"},
+	}
+	for _, c := range cases {
+		if _, err := ed.AddLeaf(c.parent, c.dist, c.requests, ""); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("AddLeaf(%d,%d,%d) err = %v, want %q", c.parent, c.dist, c.requests, err, c.frag)
+		}
+	}
+	if err := et.Validate(); err != nil {
+		t.Fatalf("tree invalid after rejected mutations: %v", err)
+	}
+}
+
+func TestEditorSetRequests(t *testing.T) {
+	tr, _, n1 := editorFixture(t)
+	ed := NewEditor(tr)
+	c1 := ed.Tree().Children(n1)[0]
+	if err := ed.SetRequests(c1, 9); err != nil {
+		t.Fatalf("SetRequests: %v", err)
+	}
+	if got := ed.Tree().Requests(c1); got != 9 {
+		t.Fatalf("requests = %d, want 9", got)
+	}
+	// Zero models removal without renumbering.
+	if err := ed.SetRequests(c1, 0); err != nil {
+		t.Fatalf("SetRequests(0): %v", err)
+	}
+	if err := ed.Tree().Validate(); err != nil {
+		t.Fatalf("tree invalid after zeroing: %v", err)
+	}
+	if err := ed.SetRequests(n1, 1); err == nil || !strings.Contains(err.Error(), "internal") {
+		t.Errorf("SetRequests on internal node: err = %v", err)
+	}
+	if err := ed.SetRequests(c1, -3); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("SetRequests(-3): err = %v", err)
+	}
+	if err := ed.SetRequests(NodeID(99), 1); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("SetRequests(unknown): err = %v", err)
+	}
+}
+
+func TestEditorSetEdgeLen(t *testing.T) {
+	tr, root, n1 := editorFixture(t)
+	ed := NewEditor(tr)
+	if err := ed.SetEdgeLen(n1, 7); err != nil {
+		t.Fatalf("SetEdgeLen: %v", err)
+	}
+	if got := ed.Tree().Dist(n1); got != 7 {
+		t.Fatalf("dist = %d, want 7", got)
+	}
+	if err := ed.Tree().Validate(); err != nil {
+		t.Fatalf("tree invalid after edit: %v", err)
+	}
+	if err := ed.SetEdgeLen(root, 1); err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("SetEdgeLen(root): err = %v", err)
+	}
+	if err := ed.SetEdgeLen(n1, -1); err == nil || !strings.Contains(err.Error(), "invalid edge length") {
+		t.Errorf("SetEdgeLen(-1): err = %v", err)
+	}
+	if err := ed.SetEdgeLen(n1, Infinity); err == nil || !strings.Contains(err.Error(), "invalid edge length") {
+		t.Errorf("SetEdgeLen(Infinity): err = %v", err)
+	}
+	if err := ed.SetEdgeLen(NodeID(99), 1); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("SetEdgeLen(unknown): err = %v", err)
+	}
+}
