@@ -621,7 +621,7 @@ func BenchmarkE13_ConjectureProbe(b *testing.B) {
 // benchWarmSolve measures Engine.Solve on a ~200-node binary instance
 // through the public seam, cold (fresh heap per solve) or warm
 // (scratch-backed session buffers, zero allocations once ingested).
-// The cold/warm pairs are the recorded trajectory of BENCH_007.json
+// The cold/warm pairs are the recorded trajectory of BENCH_008.json
 // (cmd/benchrec runs the same shapes).
 func benchWarmSolve(b *testing.B, name string, warm bool) {
 	rng := rand.New(rand.NewSource(97))
@@ -669,7 +669,7 @@ func BenchmarkWarmLPRoundWarm(b *testing.B)        { benchWarmSolve(b, solver.LP
 // (fresh allocations), "warm" re-solves on pooled scratch buffers, and
 // "delta" drives a delta.Session whose incremental core recomputes
 // only the dirtied root paths. The ≥10× delta-vs-cold separation on
-// the 2k-node tree is an acceptance bar recorded in BENCH_007.json.
+// the 2k-node tree is an acceptance bar recorded in BENCH_008.json.
 func benchDeltaMutate(b *testing.B, internals int, mode string) {
 	rng := rand.New(rand.NewSource(97))
 	in := gen.RandomInstance(rng, gen.TreeConfig{

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/fleet"
+	"replicatree/internal/gen"
+	"replicatree/internal/service"
+	"replicatree/internal/solver"
+)
+
+// FleetResult is one fleet-series measurement: a closed-loop Zipf
+// replay against an in-process fleet (router.ServeHTTP, no sockets),
+// or the failover sweep after a worker crash.
+type FleetResult struct {
+	Scenario    string  `json:"scenario"` // "throughput" | "failover"
+	Workers     int     `json:"workers"`
+	Replication int     `json:"replication"`
+	Keys        int     `json:"keys"`
+	CachePer    int     `json:"cache_per_worker"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	HitRate     float64 `json:"hit_rate"`
+	Tier2Hits   uint64  `json:"tier2_hits"`
+	Failovers   uint64  `json:"failovers"`
+	// Failover-scenario only: wall-clock to sweep the dead worker's
+	// keyspace back warm, and how many of those responses came from
+	// gossiped replicas rather than re-solves.
+	RecoveryMs     float64 `json:"recovery_ms,omitempty"`
+	CachedWarmHits int     `json:"cached_warm_hits,omitempty"`
+}
+
+// fleetKeys and fleetCachePer set up the contrast the fleet series
+// measures: the keyspace is ~2.5× one worker's tier-1 capacity, so a
+// single worker thrashes its LRU against lp-round's multi-millisecond
+// misses while a 4-worker fleet partitions the keyspace
+// (4 × 64 entries ≥ 160 keys) and stays warm. Aggregate cache
+// capacity, not raw CPU, is what the 4-worker configuration buys —
+// the ≥2× throughput bar holds on one core.
+//
+// The throughput scenarios run replication 0 on purpose: every
+// gossiped copy occupies a tier-1 slot, so K replicas divide the
+// aggregate unique capacity by K+1 — a 4×64 fleet at K=2 can hold
+// only ~85 distinct keys and thrashes like the single worker. That
+// capacity/availability trade belongs to the failover scenario,
+// which runs K=2 with caches sized for the replicated working set.
+const (
+	fleetKeys      = 160
+	fleetCachePer  = 64
+	fleetInternals = 300 // ~420-node trees: a cold lp-round (~40ms)
+	// costs ~60× the request's fixed JSON-decode overhead, so the
+	// hit-rate difference dominates the measured throughput.
+	fleetEngine  = solver.LPRound
+	fleetClients = 8
+)
+
+// fleetKeyspace builds the replay corpus: distinct random instances
+// (seeded, so the document is reproducible) pre-marshalled as /v2
+// solve bodies.
+func fleetKeyspace() ([][]byte, []*core.Instance, error) {
+	bodies := make([][]byte, 0, fleetKeys)
+	instances := make([]*core.Instance, 0, fleetKeys)
+	for k := 0; k < fleetKeys; k++ {
+		rng := rand.New(rand.NewSource(int64(1000 + k)))
+		in := gen.RandomInstance(rng, gen.TreeConfig{
+			Internals: fleetInternals, MaxArity: 2, MaxDist: 4, MaxReq: 10,
+		}, true)
+		if in.W < in.Tree.MaxRequests() {
+			in.W = in.Tree.MaxRequests()
+		}
+		body, err := json.Marshal(service.SolveRequestV2{Solver: fleetEngine, Instance: in})
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies = append(bodies, body)
+		instances = append(instances, in)
+	}
+	return bodies, instances, nil
+}
+
+// postSolve drives one request through the router without a socket.
+func postSolve(rt *fleet.Router, body []byte) (int, []byte) {
+	req := httptest.NewRequest("POST", "/v2/solve", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// measureFleetThroughput warms the fleet once over the keyspace, then
+// runs a closed-loop Zipf replay for d and reports what it sustained.
+func measureFleetThroughput(workers int, d time.Duration) (FleetResult, error) {
+	res := FleetResult{Scenario: "throughput", Workers: workers, Replication: 0, Keys: fleetKeys, CachePer: fleetCachePer}
+	bodies, _, err := fleetKeyspace()
+	if err != nil {
+		return res, err
+	}
+	f := fleet.New(fleet.Config{Workers: workers, Replication: 0, CacheSize: fleetCachePer})
+	defer f.Close()
+	rt := f.Router()
+	// Warm sweep tail-first: key 0 is the Zipf-hottest, so sweeping
+	// descending leaves the hot head most-recently-used — an ascending
+	// sweep would end having evicted exactly the keys the replay is
+	// about to ask for.
+	for i := len(bodies) - 1; i >= 0; i-- {
+		if code, out := postSolve(rt, bodies[i]); code != 200 {
+			return res, fmt.Errorf("warm sweep status %d: %s", code, out)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      atomic.Int64
+		wg        sync.WaitGroup
+	)
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	for c := 0; c < fleetClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(77 + c)))
+			zipf := rand.NewZipf(rng, 1.1, 1, uint64(len(bodies)-1))
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				body := bodies[zipf.Uint64()]
+				t0 := time.Now()
+				code, _ := postSolve(rt, body)
+				if code != 200 {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	snap := f.Snapshot()
+	res.Requests = len(latencies)
+	res.Errors = int(errs.Load())
+	res.AchievedRPS = float64(len(latencies)) / elapsed.Seconds()
+	res.P50Ms = percentileMs(latencies, 0.50)
+	res.P95Ms = percentileMs(latencies, 0.95)
+	res.P99Ms = percentileMs(latencies, 0.99)
+	res.HitRate = snap.Totals.HitRate
+	res.Tier2Hits = snap.Totals.Tier2Hits
+	res.Failovers = snap.Failovers
+	return res, nil
+}
+
+// measureFleetFailover warms a 4-worker fleet, crash-stops one member
+// and sweeps every key once: the sweep must produce zero failures,
+// and its wall-clock is the recovery time to a fully re-warmed
+// keyspace (gossip replicas serve the dead worker's share). Unlike
+// the throughput scenarios this one sizes the per-worker cache to
+// hold the replicated working set (owner + K copies of every key):
+// it measures crash recovery, not capacity pressure — an undersized
+// LRU would just measure sequential-scan eviction instead.
+func measureFleetFailover() (FleetResult, error) {
+	const workers = 4
+	const cachePer = 3 * fleetKeys / workers // owner + 2 replicas, spread over 4
+	res := FleetResult{Scenario: "failover", Workers: workers, Replication: 2, Keys: fleetKeys, CachePer: cachePer}
+	bodies, instances, err := fleetKeyspace()
+	if err != nil {
+		return res, err
+	}
+	f := fleet.New(fleet.Config{Workers: workers, Replication: 2, CacheSize: cachePer})
+	defer f.Close()
+	rt := f.Router()
+	for _, body := range bodies {
+		if code, out := postSolve(rt, body); code != 200 {
+			return res, fmt.Errorf("warm sweep status %d: %s", code, out)
+		}
+	}
+	f.SyncGossip()
+
+	// Kill the member owning the most keys — the worst single crash.
+	owned := make(map[string]int)
+	for _, in := range instances {
+		owner, _ := f.Ring().Owner(in.CanonicalHash())
+		owned[owner]++
+	}
+	victim := ""
+	for id, n := range owned {
+		if victim == "" || n > owned[victim] {
+			victim = id
+		}
+	}
+	if err := f.Kill(victim); err != nil {
+		return res, err
+	}
+
+	var latencies []time.Duration
+	t0 := time.Now()
+	for _, body := range bodies {
+		s0 := time.Now()
+		code, out := postSolve(rt, body)
+		if code != 200 {
+			res.Errors++
+			continue
+		}
+		latencies = append(latencies, time.Since(s0))
+		var sr struct {
+			Cached bool `json:"cached"`
+		}
+		if json.Unmarshal(out, &sr) == nil && sr.Cached {
+			res.CachedWarmHits++
+		}
+	}
+	res.RecoveryMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	snap := f.Snapshot()
+	res.Requests = len(latencies)
+	res.P50Ms = percentileMs(latencies, 0.50)
+	res.P95Ms = percentileMs(latencies, 0.95)
+	res.P99Ms = percentileMs(latencies, 0.99)
+	res.HitRate = snap.Totals.HitRate
+	res.Tier2Hits = snap.Totals.Tier2Hits
+	res.Failovers = snap.Failovers
+	return res, nil
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(p*float64(len(sorted)-1))]) / float64(time.Millisecond)
+}

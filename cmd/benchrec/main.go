@@ -9,8 +9,16 @@
 //     solve, and a delta.Session incremental resolve. The committed
 //     document pins the instance-session acceptance bar: delta ≥10×
 //     faster than cold on the 2k-node tree.
+//   - fleet: closed-loop Zipf replays against an in-process fleet
+//     (1 worker vs 4 workers; the keyspace is ~2.5× one worker's
+//     tier-1 capacity, so partitioning it across the ring is what the
+//     4-worker run buys), plus a failover sweep that crash-stops the
+//     busiest member and measures the re-warm. The committed document
+//     pins the fleet acceptance bars: 4 workers sustain ≥2× the
+//     single-worker warm throughput, and the failover sweep finishes
+//     with zero errors.
 //
-// The committed BENCH_007.json at the repository root is a recorded
+// The committed BENCH_008.json at the repository root is a recorded
 // run of this command; CI re-runs it on every push and uploads the
 // fresh document as a build artifact, so the trajectory of the
 // zero-alloc hot path stays observable over time without gating merges
@@ -18,7 +26,7 @@
 //
 // Usage:
 //
-//	benchrec                  # writes BENCH_007.json
+//	benchrec                  # writes BENCH_008.json
 //	benchrec -o out.json      # custom output path
 //	benchrec -benchtime 200ms # faster, noisier (CI smoke uses this)
 package main
@@ -42,8 +50,9 @@ import (
 )
 
 // Schema identifies the document layout for downstream tooling
-// (v2 added the delta mutate-and-re-solve series).
-const Schema = "replicatree-bench/v2"
+// (v2 added the delta mutate-and-re-solve series; v3 the fleet
+// throughput and failover series).
+const Schema = "replicatree-bench/v3"
 
 // warmEngines is the scratch-capable engine set (mirrors the
 // TestAllocs gate in warm_test.go).
@@ -68,6 +77,9 @@ type Document struct {
 	// Delta is the mutate-and-re-solve series: one mutation + re-solve
 	// cycle per op, per tree size and service level.
 	Delta []DeltaResult `json:"delta"`
+	// Fleet is the sharded-fleet series: Zipf replays at 1 and 4
+	// workers plus the post-crash failover sweep.
+	Fleet []FleetResult `json:"fleet"`
 }
 
 // DeltaResult is one (nodes, mode) mutate-and-re-solve measurement.
@@ -125,8 +137,9 @@ func benchInstance(withDistance bool) *core.Instance {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrec", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_007.json", "output path ('-' for stdout)")
+	out := fs.String("o", "BENCH_008.json", "output path ('-' for stdout)")
 	benchtime := fs.Duration("benchtime", time.Second, "target run time per (engine, mode) measurement")
+	fleetDur := fs.Duration("fleet-duration", 3*time.Second, "measured window per fleet throughput scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +224,23 @@ func run(args []string) error {
 				"delta/"+solver.SingleGen, mode, res.Nodes, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
 	}
+
+	for _, workers := range []int{1, 4} {
+		res, err := measureFleetThroughput(workers, *fleetDur)
+		if err != nil {
+			return err
+		}
+		doc.Fleet = append(doc.Fleet, res)
+		fmt.Fprintf(os.Stderr, "%-16s %dw %9.0f rps  p50=%.2fms p95=%.2fms hit=%.3f t2=%d errs=%d\n",
+			"fleet/"+res.Scenario, res.Workers, res.AchievedRPS, res.P50Ms, res.P95Ms, res.HitRate, res.Tier2Hits, res.Errors)
+	}
+	fo, err := measureFleetFailover()
+	if err != nil {
+		return err
+	}
+	doc.Fleet = append(doc.Fleet, fo)
+	fmt.Fprintf(os.Stderr, "%-16s %dw recovery=%.0fms warm-hits=%d/%d failovers=%d errs=%d\n",
+		"fleet/"+fo.Scenario, fo.Workers, fo.RecoveryMs, fo.CachedWarmHits, fo.Requests, fo.Failovers, fo.Errors)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,348 @@
+// Command loadgen replays the golden corpus against a replicad or
+// replicafleet endpoint at a configured rate and reports what the
+// service actually delivered: latency percentiles, achieved RPS,
+// error counts and — when the target is a fleet — tier-1/tier-2 cache
+// hit rates scraped from /metrics.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -rps 500 -duration 10s
+//
+// Keys follow a Zipf distribution over an expanded keyspace: each key
+// is a corpus instance with its capacity W bumped by the key index,
+// so -keys 160 turns the ~dozen corpus files into 160 distinct
+// canonical hashes with realistic popularity skew. -batch-every n
+// folds a /v2/batch job into every nth slot, exercising the fleet's
+// cross-owner tier-2 path.
+//
+// With -max-errors and -min-tier2-hits the run doubles as an
+// assertion harness: CI fails the build when the fleet dropped
+// requests or never took a tier-2 hit.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// keyspace is the expanded replay corpus: base instances × W bumps.
+type keyspace struct {
+	instances []*core.Instance
+	bodies    [][]byte // pre-marshalled solve requests, index-aligned
+}
+
+// buildKeyspace expands the corpus files to n distinct keys by
+// cloning instances with stepped capacities. Raising W keeps every
+// feasible instance feasible, so the probe filter below only has to
+// run once per base file.
+func buildKeyspace(corpusDir, solverName string, n int, probe func(*core.Instance) bool) (*keyspace, error) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []*core.Instance
+	for _, e := range entries {
+		if e.Name() == "manifest.json" || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var in core.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if probe == nil || probe(&in) {
+			bases = append(bases, &in)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("no feasible corpus instances in %s", corpusDir)
+	}
+	ks := &keyspace{}
+	for k := 0; k < n; k++ {
+		base := bases[k%len(bases)]
+		in := &core.Instance{Tree: base.Tree, W: base.W + int64(k/len(bases)), DMax: base.DMax}
+		body, err := json.Marshal(service.SolveRequestV2{Solver: solverName, Instance: in})
+		if err != nil {
+			return nil, err
+		}
+		ks.instances = append(ks.instances, in)
+		ks.bodies = append(ks.bodies, body)
+	}
+	return ks, nil
+}
+
+// report is the run summary (also the -json document).
+type report struct {
+	Requests    int     `json:"requests"`
+	Batches     int     `json:"batches"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"duration_sec"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	// Fleet tier counters scraped from /metrics after the run; zero
+	// when the target is a single replicad (no "totals" block).
+	Tier1Hits uint64  `json:"tier1_hits"`
+	Tier2Hits uint64  `json:"tier2_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	Failovers uint64  `json:"failovers"`
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "target base URL (replicad or replicafleet)")
+	corpus := fs.String("corpus", "testdata", "directory of corpus instance files")
+	solverName := fs.String("solver", "single-gen", "solver to request")
+	rps := fs.Float64("rps", 200, "offered request rate per second")
+	concurrency := fs.Int("concurrency", 8, "in-flight request cap")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	keys := fs.Int("keys", 160, "distinct keys in the replayed keyspace")
+	zipfS := fs.Float64("zipf", 1.1, "Zipf skew s (>1; larger = hotter head)")
+	seed := fs.Int64("seed", 1, "RNG seed for the key sequence")
+	batchEvery := fs.Int("batch-every", 0, "submit a /v2/batch job every nth slot (0 disables)")
+	batchSize := fs.Int("batch-size", 4, "tasks per batch job")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	maxErrors := fs.Int("max-errors", -1, "fail the run when errors exceed this (-1 disables)")
+	minT2 := fs.Int64("min-tier2-hits", -1, "fail the run when fleet tier-2 hits fall below this (-1 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1, got %v", *zipfS)
+	}
+	if *keys < 1 || *concurrency < 1 || *rps <= 0 {
+		return fmt.Errorf("-keys, -concurrency and -rps must be positive")
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	probe := func(in *core.Instance) bool {
+		body, err := json.Marshal(service.SolveRequestV2{Solver: *solverName, Instance: in})
+		if err != nil {
+			return false
+		}
+		resp, err := client.Post(*url+"/v2/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	}
+	ks, err := buildKeyspace(*corpus, *solverName, *keys, probe)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: %d keys over %s, offering %.0f rps for %s (zipf s=%.2f)\n",
+		len(ks.bodies), *url, *rps, *duration, *zipfS)
+
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(ks.bodies)-1))
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      atomic.Int64
+		batches   atomic.Int64
+		wg        sync.WaitGroup
+	)
+	sem := make(chan struct{}, *concurrency)
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	start := time.Now()
+	slot := 0
+
+	solveOne := func(key int) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		t0 := time.Now()
+		resp, err := client.Post(*url+"/v2/solve", "application/json", bytes.NewReader(ks.bodies[key]))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs.Add(1)
+			return
+		}
+		el := time.Since(t0)
+		mu.Lock()
+		latencies = append(latencies, el)
+		mu.Unlock()
+	}
+	batchOne := func(keys []int) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		req := service.BatchRequestV2{Workers: 1}
+		for i, k := range keys {
+			req.Tasks = append(req.Tasks, service.BatchTaskV2{
+				ID: fmt.Sprintf("t%d", i), Solver: *solverName, Instance: ks.instances[k],
+			})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		resp, err := client.Post(*url+"/v2/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			errs.Add(1)
+			return
+		}
+		var acc service.BatchAccepted
+		if json.Unmarshal(raw, &acc) != nil || acc.StatusURL == "" {
+			errs.Add(1)
+			return
+		}
+		batches.Add(1)
+		pollUntil := time.Now().Add(30 * time.Second)
+		for time.Now().Before(pollUntil) {
+			presp, err := client.Get(*url + acc.StatusURL)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			var jr service.JobResponseV2
+			derr := json.NewDecoder(presp.Body).Decode(&jr)
+			presp.Body.Close()
+			if presp.StatusCode != http.StatusOK || derr != nil {
+				errs.Add(1)
+				return
+			}
+			if jr.Status == service.JobDone {
+				if jr.Stats != nil && jr.Stats.Failed > 0 {
+					errs.Add(int64(jr.Stats.Failed))
+				}
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		errs.Add(1) // job never finished
+	}
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			sem <- struct{}{}
+			wg.Add(1)
+			slot++
+			if *batchEvery > 0 && slot%*batchEvery == 0 {
+				bk := make([]int, 0, *batchSize)
+				for i := 0; i < *batchSize; i++ {
+					bk = append(bk, int(zipf.Uint64()))
+				}
+				go batchOne(bk)
+			} else {
+				go solveOne(int(zipf.Uint64()))
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep := report{
+		Requests:    len(latencies),
+		Batches:     int(batches.Load()),
+		Errors:      int(errs.Load()),
+		DurationSec: elapsed.Seconds(),
+		AchievedRPS: float64(len(latencies)) / elapsed.Seconds(),
+		P50Ms:       percentile(latencies, 0.50),
+		P95Ms:       percentile(latencies, 0.95),
+		P99Ms:       percentile(latencies, 0.99),
+	}
+
+	// Scrape fleet tier counters when the target exposes them; a
+	// single replicad has no "totals" block and stays at zero.
+	if mresp, err := client.Get(*url + "/metrics"); err == nil {
+		var m struct {
+			Failovers uint64 `json:"failovers"`
+			Totals    struct {
+				Tier1Hits uint64  `json:"tier1_hits"`
+				Tier2Hits uint64  `json:"tier2_hits"`
+				HitRate   float64 `json:"hit_rate"`
+			} `json:"totals"`
+		}
+		if json.NewDecoder(mresp.Body).Decode(&m) == nil {
+			rep.Tier1Hits = m.Totals.Tier1Hits
+			rep.Tier2Hits = m.Totals.Tier2Hits
+			rep.HitRate = m.Totals.HitRate
+			rep.Failovers = m.Failovers
+		}
+		mresp.Body.Close()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "loadgen: %d ok (%d batches), %d errors in %.1fs — %.0f rps achieved\n",
+			rep.Requests, rep.Batches, rep.Errors, rep.DurationSec, rep.AchievedRPS)
+		fmt.Fprintf(stdout, "loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+		fmt.Fprintf(stdout, "loadgen: cache t1=%d t2=%d hit-rate=%.3f failovers=%d\n",
+			rep.Tier1Hits, rep.Tier2Hits, rep.HitRate, rep.Failovers)
+	}
+
+	if *maxErrors >= 0 && rep.Errors > *maxErrors {
+		return fmt.Errorf("%d errors exceed -max-errors %d", rep.Errors, *maxErrors)
+	}
+	if *minT2 >= 0 && rep.Tier2Hits < uint64(*minT2) {
+		return fmt.Errorf("tier-2 hits %d below -min-tier2-hits %d", rep.Tier2Hits, *minT2)
+	}
+	return nil
+}

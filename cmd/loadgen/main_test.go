@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"replicatree/internal/fleet"
+)
+
+// TestLoadgenAgainstFleet drives the full loop: an in-process fleet
+// behind httptest, a short replay with batches folded in, and the
+// CI-style assertions (-max-errors 0, -min-tier2-hits 1) passing.
+func TestLoadgenAgainstFleet(t *testing.T) {
+	f := fleet.New(fleet.Config{Workers: 4, Replication: 2, CacheSize: 64})
+	defer f.Close()
+	ts := httptest.NewServer(f.Router())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL,
+		"-corpus", filepath.Join("..", "..", "testdata"),
+		"-rps", "300", "-duration", "2s", "-concurrency", "8",
+		"-keys", "64", "-zipf", "1.2", "-seed", "7",
+		"-batch-every", "10", "-batch-size", "3",
+		"-max-errors", "0", "-min-tier2-hits", "1",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, out.String())
+	}
+	// The banner precedes the JSON document; decode from the brace on.
+	text := out.String()
+	i := strings.Index(text, "{")
+	if i < 0 {
+		t.Fatalf("no JSON report in output:\n%s", text)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(text[i:]), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, text)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Errorf("report %+v", rep)
+	}
+	if rep.Tier2Hits == 0 {
+		t.Error("batch traffic produced no tier-2 hits")
+	}
+	if rep.P95Ms <= 0 || rep.P50Ms > rep.P99Ms {
+		t.Errorf("nonsense percentiles: %+v", rep)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-zipf", "0.5"},
+		{"-keys", "0"},
+		{"-rps", "0"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestLoadgenAssertionFailure(t *testing.T) {
+	f := fleet.New(fleet.Config{Workers: 2})
+	defer f.Close()
+	ts := httptest.NewServer(f.Router())
+	defer ts.Close()
+	// An impossible tier-2 floor must turn into a nonzero exit.
+	err := run(context.Background(), []string{
+		"-url", ts.URL,
+		"-corpus", filepath.Join("..", "..", "testdata"),
+		"-rps", "100", "-duration", "300ms", "-keys", "4",
+		"-min-tier2-hits", "1000000",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "tier-2") {
+		t.Fatalf("tier-2 assertion did not fail the run: %v", err)
+	}
+}

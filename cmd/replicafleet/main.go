@@ -1,0 +1,120 @@
+// Command replicafleet runs a sharded replica-placement fleet behind
+// one HTTP front door: N in-process workers (each a full replicad
+// solve stack), a consistent-hash router that owns request placement,
+// and a two-tier result cache with gossip replication across ring
+// successors (see internal/fleet and the "Fleet topology" section of
+// DESIGN.md).
+//
+// Usage:
+//
+//	replicafleet -addr :8080 -n 4 -replication 2
+//
+// The /v2 surface is byte-compatible with a single replicad: clients
+// cannot tell the fleet from one daemon. GET /metrics returns the
+// fleet snapshot (per-worker tier counters, failovers, gossip
+// traffic); GET /healthz the ring membership.
+//
+// -kill-after/-kill-worker crash-stop one member mid-run — a chaos
+// switch for demos and CI: the victim stays on the ring dead, the
+// router fails over to ring successors and gossip replicas keep its
+// keyspace warm.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"replicatree/internal/fleet"
+	"replicatree/internal/service"
+	"replicatree/internal/solver"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replicafleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replicafleet", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("n", 4, "fleet members")
+	vnodes := fs.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per member on the hash ring")
+	replication := fs.Int("replication", 2, "ring successors each fresh cache entry is gossiped to (0 disables)")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "per-worker tier-1 cache capacity in entries")
+	failover := fs.Int("failover-attempts", 2, "ring successors tried after the owner fails")
+	attemptTimeout := fs.Duration("attempt-timeout", 30*time.Second, "per-attempt forward timeout before failing over")
+	jobWorkers := fs.Int("job-workers", 1, "concurrently running batch jobs per worker")
+	killAfter := fs.Duration("kill-after", 0, "crash-stop -kill-worker after this delay (0 disables; chaos switch)")
+	killWorker := fs.String("kill-worker", "w0", "member to crash when -kill-after fires")
+	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *killAfter > 0 && *killWorker == "" {
+		return fmt.Errorf("-kill-after needs a -kill-worker")
+	}
+
+	f := fleet.New(fleet.Config{
+		Workers:          *workers,
+		VNodes:           *vnodes,
+		Replication:      *replication,
+		CacheSize:        *cacheSize,
+		FailoverAttempts: *failover,
+		AttemptTimeout:   *attemptTimeout,
+		JobWorkers:       *jobWorkers,
+	})
+	defer f.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replicafleet: listening on http://%s (%d workers, %d solvers, vnodes=%d, replication=%d, cache=%d/worker)\n",
+		ln.Addr(), *workers, len(solver.List()), *vnodes, *replication, *cacheSize)
+
+	if *killAfter > 0 {
+		timer := time.AfterFunc(*killAfter, func() {
+			if err := f.Kill(*killWorker); err != nil {
+				fmt.Fprintf(stdout, "replicafleet: kill %s: %v\n", *killWorker, err)
+				return
+			}
+			fmt.Fprintf(stdout, "replicafleet: crash-stopped %s after %s\n", *killWorker, *killAfter)
+		})
+		defer timer.Stop()
+	}
+
+	hs := &http.Server{
+		Handler:           f.Router(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "replicafleet: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

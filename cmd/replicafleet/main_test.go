@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/fleet"
+	"replicatree/internal/service"
+)
+
+// startFleet runs the fleet daemon on an ephemeral port and returns
+// its base URL plus a shutdown function asserting a clean exit.
+func startFleet(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		errc <- err
+	}()
+
+	scanner := bufio.NewScanner(pr)
+	if !scanner.Scan() {
+		cancel()
+		t.Fatalf("fleet produced no banner: %v", <-errc)
+	}
+	banner := scanner.Text()
+	go io.Copy(io.Discard, pr)
+	const marker = "listening on "
+	i := strings.Index(banner, marker)
+	j := strings.Index(banner, " (")
+	if i < 0 || j < i {
+		cancel()
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	url := banner[i+len(marker) : j]
+	return url, func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("fleet exited with error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("fleet did not shut down")
+		}
+	}
+}
+
+// TestFleetDaemonServesGoldenInstance: end to end over real HTTP —
+// the fleet solves a golden instance, the solution verifies, a warm
+// repeat hits the cache, and /metrics reports the fleet topology.
+func TestFleetDaemonServesGoldenInstance(t *testing.T) {
+	url, shutdown := startFleet(t, "-n", "3", "-replication", "1")
+	defer shutdown()
+
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "binary_dist_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in core.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.SolveRequestV2{Solver: "multiple-best", Instance: &in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v2/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var sr service.SolveResponseV2
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(&in, core.Multiple, sr.Solution); err != nil {
+		t.Fatalf("served solution does not verify: %v", err)
+	}
+
+	resp2, err := http.Post(url+"/v2/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var warm service.SolveResponseV2
+	if err := json.NewDecoder(resp2.Body).Decode(&warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second identical solve not served from cache")
+	}
+	if warm.Replicas != sr.Replicas {
+		t.Errorf("cache changed the objective: %d vs %d", warm.Replicas, sr.Replicas)
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap fleet.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Workers != 3 || snap.Alive != 3 || snap.Replication != 1 {
+		t.Errorf("fleet snapshot %+v", snap)
+	}
+}
+
+// TestFleetDaemonKillSwitch: the -kill-after chaos switch crashes the
+// named worker, /healthz reflects it, and requests keep succeeding.
+func TestFleetDaemonKillSwitch(t *testing.T) {
+	url, shutdown := startFleet(t, "-n", "3", "-replication", "2", "-kill-after", "100ms", "-kill-worker", "w1")
+	defer shutdown()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz struct {
+			Alive int `json:"alive"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hz.Alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kill switch never fired (alive=%d)", hz.Alive)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "gadget_fig4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in core.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(service.SolveRequestV2{Solver: "single-gen", Instance: &in})
+	resp, err := http.Post(url+"/v2/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("post-kill solve status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+func TestFleetDaemonFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "not-an-address"}, io.Discard); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-kill-after", "1s", "-kill-worker", ""}, io.Discard); err == nil {
+		t.Fatal("kill-after without a worker accepted")
+	}
+}

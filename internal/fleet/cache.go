@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"replicatree/internal/service"
+	"replicatree/internal/solver"
+)
+
+// peerNetwork is the tiered cache's view of the rest of the fleet:
+// a synchronous owner-peer lookup (tier 2) and an asynchronous gossip
+// push of freshly computed entries. The Fleet implements it over the
+// ring; tests can stub it.
+type peerNetwork interface {
+	// fetchPeer probes the key's owner and replica holders (excluding
+	// origin) for a cached report.
+	fetchPeer(origin, solverName, key string) (solver.Report, bool)
+	// pushReplicas asynchronously replicates a fresh entry from origin
+	// to the key's ring successors. Never blocks; may drop under
+	// backpressure.
+	pushReplicas(origin, solverName, key string, rep solver.Report)
+}
+
+// TieredCache is one fleet worker's result cache: a local LRU
+// (tier 1) in front of a peer lookup across the key's owner and
+// replica holders (tier 2). A tier-2 hit is adopted into the local
+// LRU; a fresh Put is gossiped to the key's ring successors so a
+// worker death doesn't cold-start its whole keyspace. It implements
+// service.ResultCache, so a worker's service.Server runs the exact
+// same solve path as a standalone daemon.
+type TieredCache struct {
+	owner string
+	local *service.Cache
+	net   peerNetwork
+
+	t2hits, t2misses   atomic.Uint64
+	accepted, drainOut atomic.Uint64
+}
+
+var _ service.ResultCache = (*TieredCache)(nil)
+
+// newTieredCache builds a worker cache with a tier-1 LRU of the given
+// capacity. net may be nil (single-worker fleets have no peers).
+func newTieredCache(owner string, capacity int, net peerNetwork) *TieredCache {
+	return &TieredCache{owner: owner, local: service.NewCache(capacity), net: net}
+}
+
+// shardKey strips the request-variant suffix ("hash|p=…") off a cache
+// key: ring placement is by canonical instance hash alone, so all
+// variants of one instance co-locate with their owner.
+func shardKey(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Get implements service.ResultCache: local LRU first, then the peer
+// tier. Tier-2 hits are adopted locally so repeats stay tier-1.
+func (c *TieredCache) Get(solverName, key string) (solver.Report, bool) {
+	if rep, ok := c.local.Get(solverName, key); ok {
+		return rep, true
+	}
+	if c.net != nil {
+		if rep, ok := c.net.fetchPeer(c.owner, solverName, key); ok {
+			c.t2hits.Add(1)
+			c.local.Put(solverName, key, rep)
+			return rep, true
+		}
+		c.t2misses.Add(1)
+	}
+	return solver.Report{}, false
+}
+
+// Put implements service.ResultCache: store locally, then gossip the
+// fresh entry to the key's ring successors.
+func (c *TieredCache) Put(solverName, key string, rep solver.Report) {
+	c.local.Put(solverName, key, rep)
+	if c.net != nil {
+		c.net.pushReplicas(c.owner, solverName, key, rep)
+	}
+}
+
+// Stats implements service.ResultCache with the merged two-tier view:
+// a tier-2 hit counts as a hit, not the local miss that preceded it,
+// so a worker's /metrics hit rate reflects what its clients observed.
+func (c *TieredCache) Stats() service.CacheStats {
+	st := c.local.Stats()
+	t2 := c.t2hits.Load()
+	st.Hits += t2
+	st.Misses -= t2 // every tier-2 hit was first a tier-1 miss
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	} else {
+		st.HitRate = 0
+	}
+	return st
+}
+
+// peek serves peer probes from the local tier only, without touching
+// this worker's accounting or LRU order (see service.Cache.Peek).
+func (c *TieredCache) peek(solverName, key string) (solver.Report, bool) {
+	return c.local.Peek(solverName, key)
+}
+
+// acceptReplica stores a gossiped or drained entry in the local tier.
+func (c *TieredCache) acceptReplica(solverName, key string, rep solver.Report) {
+	c.local.Put(solverName, key, rep)
+	c.accepted.Add(1)
+}
+
+// hottest returns up to n local entries in most-recently-used order —
+// what a draining worker pushes to its successors.
+func (c *TieredCache) hottest(n int) []service.CachedEntry {
+	return c.local.MostRecent(n)
+}
+
+// TierStats is the per-worker cache block of the fleet snapshot,
+// splitting effectiveness by tier.
+type TierStats struct {
+	Size             int     `json:"size"`
+	Tier1Hits        uint64  `json:"tier1_hits"`
+	Tier1Misses      uint64  `json:"tier1_misses"`
+	Tier2Hits        uint64  `json:"tier2_hits"`
+	Tier2Misses      uint64  `json:"tier2_misses"`
+	Evictions        uint64  `json:"evictions"`
+	ReplicasAccepted uint64  `json:"replicas_accepted"`
+	DrainPushed      uint64  `json:"drain_pushed"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
+// tierStats snapshots the per-tier counters. Tier1Misses counts true
+// local misses (before the peer tier resolved them); HitRate is the
+// merged client-observed rate.
+func (c *TieredCache) tierStats() TierStats {
+	ls := c.local.Stats()
+	ts := TierStats{
+		Size:             ls.Size,
+		Tier1Hits:        ls.Hits,
+		Tier1Misses:      ls.Misses,
+		Tier2Hits:        c.t2hits.Load(),
+		Tier2Misses:      c.t2misses.Load(),
+		Evictions:        ls.Evictions,
+		ReplicasAccepted: c.accepted.Load(),
+		DrainPushed:      c.drainOut.Load(),
+	}
+	if total := ls.Hits + ls.Misses; total > 0 {
+		ts.HitRate = float64(ls.Hits+ts.Tier2Hits) / float64(total)
+	}
+	return ts
+}

@@ -1,0 +1,372 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replicatree/internal/service"
+	"replicatree/internal/solver"
+)
+
+// Config tunes a Fleet.
+type Config struct {
+	// Workers is the member count (default 4). Workers are named
+	// "w0" … "wN-1" and join the ring at construction.
+	Workers int
+	// VNodes is the virtual-node count per worker (default
+	// DefaultVNodes).
+	VNodes int
+	// Replication is K, the number of ring successors a fresh cache
+	// entry is gossiped to. 0 (the zero value) disables replication —
+	// a crashed worker's keyspace then cold-starts. cmd/replicafleet
+	// defaults its -replication flag to 2.
+	Replication int
+	// CacheSize bounds each worker's tier-1 LRU in entries (default
+	// service.DefaultCacheSize). Aggregate fleet capacity is
+	// Workers × CacheSize.
+	CacheSize int
+	// FailoverAttempts is how many ring successors the router tries
+	// after the owner fails (default 2). Total attempts per request
+	// are 1 + FailoverAttempts, capped at the member count.
+	FailoverAttempts int
+	// AttemptTimeout bounds one forwarded attempt's wall-clock time;
+	// on expiry the router fails over to the next successor (default
+	// 30s).
+	AttemptTimeout time.Duration
+	// JobWorkers bounds each worker's concurrently running batch jobs
+	// (default 1).
+	JobWorkers int
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Replication < 0 {
+		c.Replication = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = service.DefaultCacheSize
+	}
+	if c.FailoverAttempts <= 0 {
+		c.FailoverAttempts = 2
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	return c
+}
+
+// gossipMsg is one queued replication: a fresh entry travelling from
+// its origin to the key's ring successors. flush is a test/drain
+// barrier: a message carrying it is a no-op that signals when every
+// earlier message has been delivered.
+type gossipMsg struct {
+	origin, solver, key string
+	rep                 solver.Report
+	flush               chan struct{}
+}
+
+// gossipQueueLen bounds the async replication queue. Replication is
+// best-effort: under backpressure fresh entries are dropped (and
+// counted), never blocking the solve path that produced them.
+const gossipQueueLen = 1024
+
+// Fleet owns the ring, the workers and the gossip pump. Create one
+// with New, front it with Router, Close it on shutdown.
+type Fleet struct {
+	cfg  Config
+	ring *Ring
+
+	mu      sync.RWMutex
+	workers map[string]*Worker
+	order   []string // construction order: "w0" … "wN-1"
+
+	gossip        chan gossipMsg
+	gossipWG      sync.WaitGroup
+	gossipSent    atomic.Uint64
+	gossipDropped atomic.Uint64
+
+	failovers  atomic.Uint64
+	unroutable atomic.Uint64
+	closeOnce  sync.Once
+
+	routerOnce sync.Once
+	router     *Router
+}
+
+// New assembles a fleet of cfg.Workers members, all joined to the
+// ring, with the gossip pump running.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:     cfg,
+		ring:    NewRing(cfg.VNodes),
+		workers: make(map[string]*Worker, cfg.Workers),
+		gossip:  make(chan gossipMsg, gossipQueueLen),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		id := fmt.Sprintf("w%d", i)
+		cache := newTieredCache(id, cfg.CacheSize, f)
+		f.workers[id] = newWorker(id, cache, service.Options{JobWorkers: cfg.JobWorkers})
+		f.order = append(f.order, id)
+		if err := f.ring.Add(id); err != nil {
+			panic(err) // unreachable: construction names are unique
+		}
+	}
+	f.gossipWG.Add(1)
+	go f.gossipLoop()
+	return f
+}
+
+// Worker returns a member by id (nil if unknown).
+func (f *Fleet) Worker(id string) *Worker {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.workers[id]
+}
+
+// WorkerIDs returns the members in construction order.
+func (f *Fleet) WorkerIDs() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Ring exposes the placement ring (read-mostly; Kill and Drain are
+// the only mutators after construction).
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// fetchPeer implements peerNetwork: probe the key's owner and replica
+// holders — the same successor list gossip targets — skipping the
+// asking worker and the dead.
+func (f *Fleet) fetchPeer(origin, solverName, key string) (solver.Report, bool) {
+	for _, id := range f.ring.Successors(shardKey(key), f.cfg.Replication+1) {
+		if id == origin {
+			continue
+		}
+		w := f.Worker(id)
+		if w == nil || !w.peekable() {
+			continue
+		}
+		if rep, ok := w.cache.peek(solverName, key); ok {
+			return rep, true
+		}
+	}
+	return solver.Report{}, false
+}
+
+// pushReplicas implements peerNetwork: enqueue an async replication,
+// dropping (and counting) under backpressure.
+func (f *Fleet) pushReplicas(origin, solverName, key string, rep solver.Report) {
+	if f.cfg.Replication == 0 {
+		return
+	}
+	select {
+	case f.gossip <- gossipMsg{origin: origin, solver: solverName, key: key, rep: rep}:
+	default:
+		f.gossipDropped.Add(1)
+	}
+}
+
+// gossipLoop delivers queued replications: each entry goes to up to K
+// ring successors of its key, skipping the origin and the dead.
+func (f *Fleet) gossipLoop() {
+	defer f.gossipWG.Done()
+	for msg := range f.gossip {
+		if msg.flush != nil {
+			close(msg.flush)
+			continue
+		}
+		f.deliverReplicas(msg.origin, msg.solver, msg.key, msg.rep, f.cfg.Replication, nil)
+	}
+}
+
+// deliverReplicas fans one entry out to up to n live successors of
+// its key, excluding origin. counted, when non-nil, receives one Add
+// per delivered copy (the drain path counts its pushes there).
+func (f *Fleet) deliverReplicas(origin, solverName, key string, rep solver.Report, n int, counted *atomic.Uint64) {
+	delivered := 0
+	// +2 head-room: the successor list includes the origin itself and,
+	// during drain, possibly a dead member.
+	for _, id := range f.ring.Successors(shardKey(key), n+2) {
+		if delivered == n {
+			break
+		}
+		if id == origin {
+			continue
+		}
+		w := f.Worker(id)
+		if w == nil || !w.peekable() {
+			continue
+		}
+		w.cache.acceptReplica(solverName, key, rep)
+		if counted != nil {
+			counted.Add(1)
+		} else {
+			f.gossipSent.Add(1)
+		}
+		delivered++
+	}
+}
+
+// SyncGossip blocks until every replication queued before the call
+// has been delivered. Deterministic tests and benchmarks use it as a
+// barrier; production code never needs it.
+func (f *Fleet) SyncGossip() {
+	done := make(chan struct{})
+	f.gossip <- gossipMsg{flush: done}
+	<-done
+}
+
+// Kill crash-stops a worker: it is immediately unroutable and its
+// cache memory is lost to peers, but it stays on the ring — exactly
+// the failure the router's successor failover and gossip replication
+// exist for. In-flight requests are not interrupted.
+func (f *Fleet) Kill(id string) error {
+	w := f.Worker(id)
+	if w == nil {
+		return fmt.Errorf("unknown worker %q", id)
+	}
+	w.state.Store(stateDead)
+	return nil
+}
+
+// DrainHotN bounds how many hottest entries a draining worker pushes
+// to its successors: enough to cover any realistic working set while
+// keeping drain time proportional to the cache, not the keyspace.
+const DrainHotN = 1024
+
+// Drain gracefully removes a worker: stop routing to it, wait for
+// in-flight requests (bounded by ctx), hand its hottest cache entries
+// to each key's next owners, then leave the ring and die.
+func (f *Fleet) Drain(ctx context.Context, id string) error {
+	w := f.Worker(id)
+	if w == nil {
+		return fmt.Errorf("unknown worker %q", id)
+	}
+	if !w.state.CompareAndSwap(stateAlive, stateDraining) {
+		return fmt.Errorf("worker %q is not alive", id)
+	}
+	idle := make(chan struct{})
+	go func() { w.inflight.Wait(); close(idle) }()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		return fmt.Errorf("drain %s: in-flight requests did not finish: %w", id, ctx.Err())
+	}
+	// While draining the worker still answers peer probes, so its keys
+	// are reachable as tier 2 the whole time; the push below makes them
+	// tier-1 warm at their next owners before the memory goes away.
+	// Even with gossip replication disabled each entry goes to at least
+	// its next owner — a graceful leave never cold-starts the keyspace.
+	fanout := f.cfg.Replication
+	if fanout < 1 {
+		fanout = 1
+	}
+	for _, e := range w.cache.hottest(DrainHotN) {
+		f.deliverReplicas(id, e.Solver, e.Key, e.Report, fanout, &w.cache.drainOut)
+	}
+	f.ring.Remove(id)
+	w.state.Store(stateDead)
+	w.close()
+	return nil
+}
+
+// Close stops the gossip pump and every worker.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		close(f.gossip)
+		f.gossipWG.Wait()
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		for _, w := range f.workers {
+			w.close()
+		}
+	})
+}
+
+// WorkerSnapshot is one member's block of the fleet snapshot.
+type WorkerSnapshot struct {
+	State    string                  `json:"state"`
+	Forwards uint64                  `json:"forwards"`
+	Cache    TierStats               `json:"cache"`
+	Service  service.MetricsSnapshot `json:"service"`
+}
+
+// Snapshot is the fleet-wide observability document, the body of the
+// router's GET /metrics.
+type Snapshot struct {
+	Workers     int                       `json:"workers"`
+	Alive       int                       `json:"alive"`
+	VNodes      int                       `json:"vnodes"`
+	Replication int                       `json:"replication"`
+	Failovers   uint64                    `json:"failovers"`
+	Unroutable  uint64                    `json:"unroutable"`
+	Gossip      GossipStats               `json:"gossip"`
+	Totals      TierStats                 `json:"totals"`
+	PerWorker   map[string]WorkerSnapshot `json:"per_worker"`
+	// Router carries the front-end's own request counters; the Router
+	// fills it in when rendering /metrics.
+	Router service.MetricsSnapshot `json:"router"`
+}
+
+// GossipStats counts the replication pump's traffic.
+type GossipStats struct {
+	Sent    uint64 `json:"sent"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Snapshot collects per-worker and aggregate counters.
+func (f *Fleet) Snapshot() Snapshot {
+	f.mu.RLock()
+	order := make([]string, len(f.order))
+	copy(order, f.order)
+	f.mu.RUnlock()
+	snap := Snapshot{
+		Workers:     len(order),
+		VNodes:      f.cfg.VNodes,
+		Replication: f.cfg.Replication,
+		Failovers:   f.failovers.Load(),
+		Unroutable:  f.unroutable.Load(),
+		Gossip:      GossipStats{Sent: f.gossipSent.Load(), Dropped: f.gossipDropped.Load()},
+		PerWorker:   make(map[string]WorkerSnapshot, len(order)),
+	}
+	for _, id := range order {
+		w := f.Worker(id)
+		ts := w.cache.tierStats()
+		snap.PerWorker[id] = WorkerSnapshot{
+			State:    w.stateLabel(),
+			Forwards: w.forwards.Load(),
+			Cache:    ts,
+			Service:  w.srv.MetricsSnapshot(),
+		}
+		if w.routable() {
+			snap.Alive++
+		}
+		snap.Totals.Size += ts.Size
+		snap.Totals.Tier1Hits += ts.Tier1Hits
+		snap.Totals.Tier1Misses += ts.Tier1Misses
+		snap.Totals.Tier2Hits += ts.Tier2Hits
+		snap.Totals.Tier2Misses += ts.Tier2Misses
+		snap.Totals.Evictions += ts.Evictions
+		snap.Totals.ReplicasAccepted += ts.ReplicasAccepted
+		snap.Totals.DrainPushed += ts.DrainPushed
+	}
+	if total := snap.Totals.Tier1Hits + snap.Totals.Tier1Misses; total > 0 {
+		snap.Totals.HitRate = float64(snap.Totals.Tier1Hits+snap.Totals.Tier2Hits) / float64(total)
+	}
+	return snap
+}

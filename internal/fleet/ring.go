@@ -1,0 +1,157 @@
+// Package fleet turns N in-process replicad-style workers into one
+// sharded placement service: a consistent-hash ring maps each
+// instance's canonical hash to an owner worker, a router front-end
+// forwards the /v2 solve contract to that owner (failing over to ring
+// successors on worker death or timeout), and a two-tier result cache
+// — local LRU first, then an owner-peer lookup — backed by async
+// gossip replication keeps a worker's keyspace warm across failures.
+// See DESIGN.md, "Fleet topology".
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per worker. 128 points per
+// worker keeps the max/min keyspace share within ~1.5× at small fleet
+// sizes while join/leave still only moves ~1/N of the keys.
+const DefaultVNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is
+// deterministic across processes: points are SHA-256 positions of
+// "member#vnode" labels, so two rings built from the same member set
+// (in any insertion order) agree on every key's owner. Safe for
+// concurrent use.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []point // sorted by (hash, id)
+	members map[string]struct{}
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash uint64
+	id   string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (≤ 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// ringHash positions a label on the ring: the first 8 bytes of its
+// SHA-256, which is stable across processes and architectures (unlike
+// maphash or FNV over untrusted input mixes, there is no per-process
+// seed).
+func ringHash(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add joins a member, claiming its vnode positions. Only the keys
+// that land between a new point and its predecessor move — about
+// 1/(N+1) of the keyspace.
+func (r *Ring) Add(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		return fmt.Errorf("ring member %q already present", id)
+	}
+	r.members[id] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: ringHash(id + "#" + fmt.Sprint(i)), id: id})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Full-hash collisions are vanishingly rare; break them by id so
+		// placement stays deterministic regardless of insertion order.
+		return r.points[a].id < r.points[b].id
+	})
+	return nil
+}
+
+// Remove leaves a member, releasing its points; the keys it owned
+// fall to the next points clockwise (its ring successors).
+func (r *Ring) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the member owning key: the first point clockwise from
+// the key's ring position. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	ids := r.Successors(key, 1)
+	if len(ids) == 0 {
+		return "", false
+	}
+	return ids[0], true
+}
+
+// Successors returns up to n distinct members in ring order starting
+// at key's owner — the owner first, then the members next clockwise.
+// This single order drives routing, failover, replica placement and
+// peer lookup, so all four always agree on where a key's entries live.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	ids := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(ids) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.id]; dup {
+			continue
+		}
+		seen[p.id] = struct{}{}
+		ids = append(ids, p.id)
+	}
+	return ids
+}
+
+// Members returns the current member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func ringWith(t *testing.T, vnodes int, ids ...string) *Ring {
+	t.Helper()
+	r := NewRing(vnodes)
+	for _, id := range ids {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestRingDeterministicPlacement pins placement across processes:
+// ring positions are SHA-256 of member#vnode labels, so these literal
+// expectations hold on any machine, architecture or Go version. If
+// this test breaks, cached keyspaces shift on every fleet restart.
+func TestRingDeterministicPlacement(t *testing.T) {
+	r := ringWith(t, 128, "w0", "w1", "w2", "w3")
+	pins := []struct {
+		key  string
+		succ []string
+	}{
+		{"alpha", []string{"w2", "w0", "w1"}},
+		{"bravo", []string{"w2", "w3", "w1"}},
+		{"charlie", []string{"w3", "w0", "w1"}},
+		{"delta", []string{"w1", "w3", "w0"}},
+		{"echo", []string{"w2", "w0", "w3"}},
+	}
+	for _, p := range pins {
+		if got := r.Successors(p.key, 3); !reflect.DeepEqual(got, p.succ) {
+			t.Errorf("Successors(%q, 3) = %v, want %v", p.key, got, p.succ)
+		}
+		if owner, ok := r.Owner(p.key); !ok || owner != p.succ[0] {
+			t.Errorf("Owner(%q) = %q, want %q", p.key, owner, p.succ[0])
+		}
+	}
+}
+
+// TestRingInsertionOrderIrrelevant: the same member set produces the
+// same placement no matter the join order.
+func TestRingInsertionOrderIrrelevant(t *testing.T) {
+	a := ringWith(t, 64, "w0", "w1", "w2", "w3", "w4")
+	b := ringWith(t, 64, "w3", "w0", "w4", "w2", "w1")
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q: owner %q vs %q under different insertion orders", key, oa, ob)
+		}
+	}
+}
+
+// TestRingDistributionBalance: at 128 vnodes the keyspace shares stay
+// within a modest bound of each other — max/min ≤ 2 and max ≤ 1.4 ×
+// the fair share, for fleets up to 8 workers. (Measured: max/min is
+// ~1.35 at N=4 and ~1.49 at N=8; the bounds leave slack without
+// letting real imbalance through. Deterministic, so never flaky.)
+func TestRingDistributionBalance(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("w%d", i)
+		}
+		r := ringWith(t, 128, ids...)
+		counts := make(map[string]int, n)
+		for k := 0; k < keys; k++ {
+			owner, ok := r.Owner(fmt.Sprintf("key-%d", k))
+			if !ok {
+				t.Fatal("empty ring")
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		min, max := keys, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(keys) / float64(n)
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Errorf("n=%d: max/min = %.3f > 2.0 (min=%d max=%d)", n, ratio, min, max)
+		}
+		if over := float64(max) / mean; over > 1.4 {
+			t.Errorf("n=%d: max share %.3f× the fair share", n, over)
+		}
+	}
+}
+
+// TestRingMinimalMovement property-tests the consistent-hashing
+// contract over random member sets and keys: a join remaps at most
+// ~1/(N+1) of the keys (we allow 1.5×), a leave remaps exactly the
+// leaver's keys and nothing else.
+func TestRingMinimalMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const keys = 4000
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 members
+		r := NewRing(128)
+		for i := 0; i < n; i++ {
+			if err := r.Add(fmt.Sprintf("m%d-%d", trial, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := make(map[string]string, keys)
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("t%d-key-%d", trial, rng.Int63())
+			before[key], _ = r.Owner(key)
+		}
+
+		// Join: only keys claimed by the newcomer may move.
+		newcomer := fmt.Sprintf("m%d-new", trial)
+		if err := r.Add(newcomer); err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for key, prev := range before {
+			owner, _ := r.Owner(key)
+			if owner == prev {
+				continue
+			}
+			moved++
+			if owner != newcomer {
+				t.Fatalf("trial %d: key %q moved %q→%q, not to the newcomer", trial, key, prev, owner)
+			}
+		}
+		if bound := 1.5 / float64(n+1); float64(moved)/float64(len(before)) > bound {
+			t.Errorf("trial %d (n=%d): join remapped %.3f of the keys, bound %.3f",
+				trial, n, float64(moved)/float64(len(before)), bound)
+		}
+
+		// Leave: the newcomer's keys fall to others; every other key
+		// keeps its owner (so a drain only re-warms one worker's share).
+		afterJoin := make(map[string]string, keys)
+		for key := range before {
+			afterJoin[key], _ = r.Owner(key)
+		}
+		r.Remove(newcomer)
+		for key, prev := range afterJoin {
+			owner, _ := r.Owner(key)
+			if prev == newcomer {
+				if owner != before[key] {
+					t.Fatalf("trial %d: key %q did not fall back to its pre-join owner", trial, key)
+				}
+			} else if owner != prev {
+				t.Fatalf("trial %d: leave moved unrelated key %q (%q→%q)", trial, key, prev, owner)
+			}
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(16)
+	if _, ok := r.Owner("k"); ok {
+		t.Error("empty ring returned an owner")
+	}
+	if got := r.Successors("k", 3); got != nil {
+		t.Errorf("empty ring successors %v", got)
+	}
+	if err := r.Add("w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("w0"); err == nil {
+		t.Error("duplicate Add did not error")
+	}
+	if got := r.Successors("k", 5); len(got) != 1 || got[0] != "w0" {
+		t.Errorf("n beyond member count: %v", got)
+	}
+	r.Remove("nope") // no-op, must not panic
+	r.Remove("w0")
+	if r.Size() != 0 || len(r.Members()) != 0 {
+		t.Errorf("ring not empty after removals: size=%d members=%v", r.Size(), r.Members())
+	}
+	// Successors must never repeat a member even when n exceeds the
+	// vnode count of a tiny ring.
+	r2 := ringWith(t, 2, "a", "b", "c")
+	seen := map[string]bool{}
+	for _, id := range r2.Successors("key", 3) {
+		if seen[id] {
+			t.Fatalf("duplicate member %q in successor list", id)
+		}
+		seen[id] = true
+	}
+}

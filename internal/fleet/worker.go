@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"replicatree/internal/service"
+)
+
+// Worker states. A worker starts alive, moves to draining during a
+// graceful leave (no new routed requests, in-flight ones finish,
+// cache still answers peer probes) and ends dead (crashed or
+// drained out: unroutable and unpeekable — its memory is gone).
+const (
+	stateAlive int32 = iota
+	stateDraining
+	stateDead
+)
+
+// Worker is one fleet member: a full service.Server (same solve path,
+// job pool and instance store as a standalone replicad) whose result
+// cache is the fleet's two-tier cache.
+type Worker struct {
+	id        string
+	srv       *service.Server
+	cache     *TieredCache
+	state     atomic.Int32
+	inflight  sync.WaitGroup
+	forwards  atomic.Uint64
+	closeOnce sync.Once
+}
+
+// newWorker assembles one member around an injected tiered cache.
+func newWorker(id string, cache *TieredCache, opt service.Options) *Worker {
+	opt.Cache = cache
+	return &Worker{id: id, srv: service.New(opt), cache: cache}
+}
+
+// ID returns the worker's fleet identity (its ring member name).
+func (w *Worker) ID() string { return w.id }
+
+// routable reports whether the router may send new requests here.
+func (w *Worker) routable() bool { return w.state.Load() == stateAlive }
+
+// peekable reports whether peers may still read this worker's cache:
+// true while alive or draining, false once dead (a crashed worker's
+// memory is lost — that is exactly what gossip replication covers).
+func (w *Worker) peekable() bool { return w.state.Load() != stateDead }
+
+// stateLabel renders the worker state for the fleet snapshot.
+func (w *Worker) stateLabel() string {
+	switch w.state.Load() {
+	case stateDraining:
+		return "draining"
+	case stateDead:
+		return "dead"
+	default:
+		return "alive"
+	}
+}
+
+// serve forwards one routed request into the worker's service mux,
+// tracking it for drain. It reports false — without writing a
+// response — when the worker is dead, so the router can fail over to
+// a ring successor.
+func (w *Worker) serve(rw http.ResponseWriter, req *http.Request) bool {
+	w.inflight.Add(1)
+	defer w.inflight.Done()
+	if w.state.Load() == stateDead {
+		return false
+	}
+	w.forwards.Add(1)
+	w.srv.ServeHTTP(rw, req)
+	return true
+}
+
+// close shuts the underlying service down exactly once.
+func (w *Worker) close() {
+	w.closeOnce.Do(w.srv.Close)
+}

@@ -7,6 +7,23 @@ import (
 	"replicatree/internal/solver"
 )
 
+// ResultCache is the server's result-cache seam: every cached-or-
+// fresh solve goes through exactly one Get (before solving) and one
+// Put (after verification), so alternative implementations — such as
+// the fleet's two-tier distributed cache — plug in via Options.Cache
+// without forking the solve path or its accounting. Implementations
+// must be safe for concurrent use and must never alias stored
+// solutions to callers (the local LRU deep-copies on both sides).
+type ResultCache interface {
+	// Get returns the cached report for (solverName, key), where key
+	// is the canonical instance hash plus any request-variant suffix.
+	Get(solverName, key string) (solver.Report, bool)
+	// Put inserts a verified solve report under (solverName, key).
+	Put(solverName, key string, rep solver.Report)
+	// Stats reports cache effectiveness for /metrics.
+	Stats() CacheStats
+}
+
 // Cache is a size-bounded LRU over solved placements, keyed by
 // (solver name, canonical instance hash). It is the service's hot
 // path: a warm key is served from memory instead of re-solving.
@@ -37,6 +54,8 @@ type cacheEntry struct {
 	key    cacheKey
 	report solver.Report
 }
+
+var _ ResultCache = (*Cache)(nil)
 
 // NewCache returns an LRU cache bounded to capacity entries.
 func NewCache(capacity int) *Cache {
@@ -97,6 +116,54 @@ func (c *Cache) Put(solverName, hash string, rep solver.Report) {
 		delete(c.m, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// Peek returns the cached report for (solverName, key) without
+// touching the hit/miss counters or the LRU order. It exists for
+// cache *peers*: a fleet worker probing another worker's local tier
+// must not distort that worker's own effectiveness accounting or
+// keep entries artificially hot.
+func (c *Cache) Peek(solverName, key string) (solver.Report, bool) {
+	c.mu.Lock()
+	el, ok := c.m[cacheKey{solverName, key}]
+	if !ok {
+		c.mu.Unlock()
+		return solver.Report{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	rep := e.report
+	rep.Solution = rep.Solution.Clone()
+	return rep, true
+}
+
+// CachedEntry is one exported cache line: the key pair plus a private
+// clone of the cached report.
+type CachedEntry struct {
+	Solver string
+	Key    string
+	Report solver.Report
+}
+
+// MostRecent returns up to n entries in most-recently-used order —
+// the cache's working set. A draining fleet worker hands these to its
+// ring successors so its keyspace stays warm after it leaves; n ≤ 0
+// returns every entry. Reports are cloned out.
+func (c *Cache) MostRecent(n int) []CachedEntry {
+	c.mu.Lock()
+	if n <= 0 || n > c.ll.Len() {
+		n = c.ll.Len()
+	}
+	entries := make([]CachedEntry, 0, n)
+	for el := c.ll.Front(); el != nil && len(entries) < n; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		entries = append(entries, CachedEntry{Solver: e.key.solver, Key: e.key.hash, Report: e.report})
+	}
+	c.mu.Unlock()
+	for i := range entries {
+		entries[i].Report.Solution = entries[i].Report.Solution.Clone()
+	}
+	return entries
 }
 
 // Len returns the current number of cached entries.

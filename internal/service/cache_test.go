@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -143,6 +144,99 @@ func TestCacheBoundUnderChurn(t *testing.T) {
 	if st := c.Stats(); st.Evictions != 96 {
 		t.Errorf("evictions %d, want 96", st.Evictions)
 	}
+}
+
+// TestCachePeekLeavesAccountingAlone pins the peer-probe contract:
+// Peek neither counts hits/misses nor refreshes LRU order, so a fleet
+// worker probing this cache as tier 2 cannot distort its stats or
+// keep entries artificially hot.
+func TestCachePeekLeavesAccountingAlone(t *testing.T) {
+	c := NewCache(2)
+	c.Put("s", "h1", testReport(1, core.Single, 1))
+	c.Put("s", "h2", testReport(2, core.Multiple, 2))
+	rep, ok := c.Peek("s", "h1")
+	if !ok || rep.Solution.Replicas[0] != 1 {
+		t.Fatalf("peek: ok=%v report=%+v", ok, rep)
+	}
+	rep.Solution.Replicas[0] = 99 // peeked values must be private clones
+	if again, _ := c.Peek("s", "h1"); again.Solution.Replicas[0] != 1 {
+		t.Error("Peek handed out aliased state")
+	}
+	if _, ok := c.Peek("s", "h3"); ok {
+		t.Error("Peek hit a missing key")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Peek touched the counters: %+v", st)
+	}
+	// h1 was only peeked, not used: inserting h3 must still evict it
+	// (h2 is the most recently *put*).
+	c.Put("s", "h3", testReport(3, core.Single, 3))
+	if _, ok := c.Peek("s", "h1"); ok {
+		t.Error("Peek refreshed LRU order")
+	}
+}
+
+// TestCacheMostRecent pins the drain contract: entries come back in
+// MRU order, bounded by n, cloned out.
+func TestCacheMostRecent(t *testing.T) {
+	c := NewCache(8)
+	c.Put("s", "h1", testReport(1, core.Single, 1))
+	c.Put("s", "h2", testReport(2, core.Single, 2))
+	c.Put("s", "h3", testReport(3, core.Single, 3))
+	c.Get("s", "h1") // h1 becomes the hottest
+	got := c.MostRecent(2)
+	if len(got) != 2 || got[0].Key != "h1" || got[1].Key != "h3" {
+		t.Fatalf("MostRecent(2) = %+v, want h1 then h3", got)
+	}
+	if got[0].Solver != "s" || got[0].Report.Solution.NumReplicas() != 1 {
+		t.Errorf("entry payload wrong: %+v", got[0])
+	}
+	got[0].Report.Solution.Replicas[0] = 99
+	if rep, _ := c.Peek("s", "h1"); rep.Solution.Replicas[0] != 1 {
+		t.Error("MostRecent aliased cached state")
+	}
+	if all := c.MostRecent(0); len(all) != 3 {
+		t.Errorf("MostRecent(0) returned %d entries, want all 3", len(all))
+	}
+}
+
+// TestServerCacheInjection pins the Options.Cache seam: a custom
+// ResultCache sees every solve's Get and Put with the same keys and
+// accounting the default LRU would.
+func TestServerCacheInjection(t *testing.T) {
+	inner := NewCache(8)
+	rc := &recordingCache{Cache: inner}
+	srv, ts := newTestServer(t, Options{Cache: rc})
+	in := goldenInstance(t, "binary_nod_1.json")
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v2/solve", SolveRequestV2{Solver: "single-gen", Instance: in})
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if rc.gets.Load() != 2 || rc.puts.Load() != 1 {
+		t.Errorf("injected cache saw %d gets / %d puts, want 2 / 1", rc.gets.Load(), rc.puts.Load())
+	}
+	if st := srv.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("injected cache accounting diverged: %+v", st)
+	}
+}
+
+// recordingCache counts the server's traffic through the ResultCache
+// seam while delegating to the real LRU.
+type recordingCache struct {
+	*Cache
+	gets, puts atomic.Uint64
+}
+
+func (r *recordingCache) Get(solverName, key string) (solver.Report, bool) {
+	r.gets.Add(1)
+	return r.Cache.Get(solverName, key)
+}
+
+func (r *recordingCache) Put(solverName, key string, rep solver.Report) {
+	r.puts.Add(1)
+	r.Cache.Put(solverName, key, rep)
 }
 
 func TestMetricsHistogram(t *testing.T) {

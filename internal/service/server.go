@@ -51,6 +51,10 @@ import (
 type Options struct {
 	// CacheSize bounds the result cache in entries; 0 disables caching.
 	CacheSize int
+	// Cache, when non-nil, replaces the default local LRU result
+	// cache (NewCache(CacheSize)) — the seam the fleet's two-tier
+	// distributed cache plugs into. CacheSize is ignored when set.
+	Cache ResultCache
 	// JobWorkers bounds the number of concurrently running batch jobs
 	// (default 1); JobQueue bounds the number of queued jobs (default
 	// 64); JobRetention bounds retained finished jobs (default 1024).
@@ -71,7 +75,7 @@ const DefaultCacheSize = 1024
 // Server is the placement service. Create one with New, mount it as
 // an http.Handler, and Close it on shutdown.
 type Server struct {
-	cache     *Cache
+	cache     ResultCache
 	metrics   *Metrics
 	jobs      *JobManager
 	instances *instanceStore
@@ -81,8 +85,12 @@ type Server struct {
 
 // New assembles a Server.
 func New(opt Options) *Server {
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCache(opt.CacheSize)
+	}
 	s := &Server{
-		cache:     NewCache(opt.CacheSize),
+		cache:     cache,
 		metrics:   NewMetrics(),
 		jobs:      NewJobManager(opt.JobWorkers, opt.JobQueue, opt.JobRetention),
 		instances: newInstanceStore(opt.MaxInstances, opt.InstanceTTL),
@@ -120,6 +128,11 @@ func (s *Server) Close() {
 
 // CacheStats exposes the cache counters (also part of /metrics).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// MetricsSnapshot exposes the request/latency counters, so an
+// embedding front-end (the fleet router) can aggregate per-worker
+// service metrics without scraping its own /metrics endpoint.
+func (s *Server) MetricsSnapshot() MetricsSnapshot { return s.metrics.Snapshot() }
 
 // errVerification marks a solver that returned an infeasible
 // solution — an internal invariant violation, reported as 500 rather
