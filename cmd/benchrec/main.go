@@ -4,11 +4,13 @@
 //   - cold vs warm: the BenchmarkWarm* shapes of bench_test.go —
 //     Engine.Solve on a ~200-node binary instance, once allocating per
 //     solve (cold) and once on scratch-backed session buffers (warm).
+//
 //   - delta: the BenchmarkDelta* shapes — one mutate-and-re-solve
 //     cycle on ~200- and ~2k-node trees, as a cold solve, a warm
 //     solve, and a delta.Session incremental resolve. The committed
 //     document pins the instance-session acceptance bar: delta ≥10×
 //     faster than cold on the 2k-node tree.
+//
 //   - fleet: closed-loop Zipf replays against an in-process fleet
 //     (1 worker vs 4 workers; the keyspace is ~2.5× one worker's
 //     tier-1 capacity, so partitioning it across the ring is what the
@@ -18,7 +20,14 @@
 //     single-worker warm throughput, and the failover sweep finishes
 //     with zero errors.
 //
-// The committed BENCH_008.json at the repository root is a recorded
+//   - decomp: single-run wall-clock solves of huge generated trees
+//     (~100k and, by default, one million nodes) through the subtree
+//     decomposition engine, recording piece counts, coordination
+//     activity and the gap against the subtree-sum lower bound. The
+//     committed document pins the huge-tree acceptance bar: the
+//     million-node solve completes well inside 120 s.
+//
+// The committed BENCH_009.json at the repository root is a recorded
 // run of this command; CI re-runs it on every push and uploads the
 // fresh document as a build artifact, so the trajectory of the
 // zero-alloc hot path stays observable over time without gating merges
@@ -26,9 +35,10 @@
 //
 // Usage:
 //
-//	benchrec                  # writes BENCH_008.json
+//	benchrec                  # writes BENCH_009.json
 //	benchrec -o out.json      # custom output path
 //	benchrec -benchtime 200ms # faster, noisier (CI smoke uses this)
+//	benchrec -decomp-nodes 0  # skip the million-node decomp solve
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"replicatree/internal/core"
+	"replicatree/internal/decomp"
 	"replicatree/internal/delta"
 	"replicatree/internal/gen"
 	"replicatree/internal/solver"
@@ -51,8 +62,9 @@ import (
 
 // Schema identifies the document layout for downstream tooling
 // (v2 added the delta mutate-and-re-solve series; v3 the fleet
-// throughput and failover series).
-const Schema = "replicatree-bench/v3"
+// throughput and failover series; v4 the huge-tree decomposition
+// series).
+const Schema = "replicatree-bench/v4"
 
 // warmEngines is the scratch-capable engine set (mirrors the
 // TestAllocs gate in warm_test.go).
@@ -80,6 +92,25 @@ type Document struct {
 	// Fleet is the sharded-fleet series: Zipf replays at 1 and 4
 	// workers plus the post-crash failover sweep.
 	Fleet []FleetResult `json:"fleet"`
+	// Decomp is the huge-tree series: single-run wall-clock solves
+	// through the subtree decomposition engine.
+	Decomp []DecompResult `json:"decomp"`
+}
+
+// DecompResult is one huge-tree decomposition solve. Wall-clock is a
+// single run — at a million nodes the solve itself is the repetition.
+type DecompResult struct {
+	Nodes      int     `json:"nodes"`
+	Clients    int     `json:"clients"`
+	Pieces     int     `json:"pieces"`
+	Merged     int     `json:"merged"`
+	Rounds     int     `json:"rounds"`
+	Moved      int     `json:"moved"`
+	Workers    int     `json:"workers"`
+	Replicas   int     `json:"replicas"`
+	LowerBound int     `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+	WallMs     float64 `json:"wall_ms"`
 }
 
 // DeltaResult is one (nodes, mode) mutate-and-re-solve measurement.
@@ -137,9 +168,10 @@ func benchInstance(withDistance bool) *core.Instance {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrec", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_008.json", "output path ('-' for stdout)")
+	out := fs.String("o", "BENCH_009.json", "output path ('-' for stdout)")
 	benchtime := fs.Duration("benchtime", time.Second, "target run time per (engine, mode) measurement")
 	fleetDur := fs.Duration("fleet-duration", 3*time.Second, "measured window per fleet throughput scenario")
+	decompNodes := fs.Int("decomp-nodes", 1_000_000, "largest decomp solve size (0 skips the large solve; the ~100k solve always runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -242,6 +274,20 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "%-16s %dw recovery=%.0fms warm-hits=%d/%d failovers=%d errs=%d\n",
 		"fleet/"+fo.Scenario, fo.Workers, fo.RecoveryMs, fo.CachedWarmHits, fo.Requests, fo.Failovers, fo.Errors)
 
+	sizes := []int{100_000}
+	if *decompNodes > 0 {
+		sizes = append(sizes, *decompNodes)
+	}
+	for _, nodes := range sizes {
+		dres, err := measureDecomp(ctx, nodes)
+		if err != nil {
+			return err
+		}
+		doc.Decomp = append(doc.Decomp, dres)
+		fmt.Fprintf(os.Stderr, "%-16s %8d nodes %5d pieces %2d rounds  %d replicas (lb %d, gap %.3f)  %.0f ms\n",
+			"decomp", dres.Nodes, dres.Pieces, dres.Rounds, dres.Replicas, dres.LowerBound, dres.Gap, dres.WallMs)
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -252,6 +298,36 @@ func run(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// measureDecomp generates a ~nodes-node flat instance (seed 42, the
+// documented huge-tree seed) and solves it once through the
+// decomposition pipeline, verification on — the recorded wall-clock
+// covers partition, piece solves, coordination and the final check.
+func measureDecomp(ctx context.Context, nodes int) (DecompResult, error) {
+	rng := rand.New(rand.NewSource(42))
+	fi, err := gen.RandomFlatInstance(rng, nodes, gen.TreeConfig{}, false)
+	if err != nil {
+		return DecompResult{}, err
+	}
+	begin := time.Now()
+	res, err := decomp.SolveFlat(ctx, fi, decomp.Options{Verify: true})
+	if err != nil {
+		return DecompResult{}, fmt.Errorf("decomp %d nodes: %v", nodes, err)
+	}
+	return DecompResult{
+		Nodes:      fi.Flat.Len(),
+		Clients:    fi.Flat.NumClients(),
+		Pieces:     res.Pieces,
+		Merged:     res.Merged,
+		Rounds:     res.Rounds,
+		Moved:      res.Moved,
+		Workers:    res.Workers,
+		Replicas:   res.Replicas,
+		LowerBound: res.LowerBound,
+		Gap:        res.Gap,
+		WallMs:     float64(time.Since(begin).Microseconds()) / 1000,
+	}, nil
 }
 
 // deltaInstance mirrors the BenchmarkDelta* instance: a seed-97

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -27,6 +28,9 @@ import (
 	"runtime/pprof"
 
 	"replicatree/internal/core"
+	// Link the decomposition engine into the registry: it lives in its
+	// own package (it imports solver) and registers itself on init.
+	"replicatree/internal/decomp"
 	"replicatree/internal/multiple"
 	"replicatree/internal/single"
 	"replicatree/internal/solver"
@@ -48,6 +52,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	pushup := fs.Bool("pushup", false, "apply the push-up post-pass (Single policy only)")
 	latency := fs.Bool("latency", false, "re-route assignments for minimal total distance (Multiple policy only)")
 	budget := fs.Int64("budget", 0, "work budget for exact solvers (0 = default)")
+	stream := fs.Bool("stream", false, "read the chunked streaming format (treegen -stream); with -solver decomp the tree is solved in flat form and a summary is printed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after the solve) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -101,18 +106,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	var data []byte
-	if *inPath == "-" {
-		data, err = io.ReadAll(stdin)
-	} else {
-		data, err = os.ReadFile(*inPath)
-	}
-	if err != nil {
-		return err
-	}
 	var in core.Instance
-	if err := json.Unmarshal(data, &in); err != nil {
-		return err
+	if *stream {
+		r := stdin
+		if *inPath != "-" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		fi, err := core.ReadChunked(bufio.NewReaderSize(r, 1<<20))
+		if err != nil {
+			return err
+		}
+		if *name == solver.Decomp {
+			// The huge-tree path: solve in flat form — no pointer tree,
+			// no per-node output — and print a summary with the gap.
+			if *pushup || *latency || *format == "dot" {
+				return fmt.Errorf("-pushup/-latency/dot are unavailable on the decomp stream path")
+			}
+			return runFlat(stdout, fi, *format)
+		}
+		mat, err := fi.Instance()
+		if err != nil {
+			return err
+		}
+		in = *mat
+	} else {
+		var data []byte
+		if *inPath == "-" {
+			data, err = io.ReadAll(stdin)
+		} else {
+			data, err = os.ReadFile(*inPath)
+		}
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &in); err != nil {
+			return err
+		}
 	}
 
 	rep, err := eng.Solve(context.Background(), solver.Request{Instance: &in, Budget: *budget})
@@ -152,6 +186,52 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// runFlat solves a flat instance through the decomposition pipeline
+// and prints the run summary (the full placement of a million-node
+// tree is not useful terminal output; use -format json for the
+// machine-readable summary). The solution is verified against the
+// flat instance before anything is printed, like the standard path.
+func runFlat(stdout io.Writer, fi *core.FlatInstance, format string) error {
+	res, err := decomp.SolveFlat(context.Background(), fi, decomp.Options{Verify: true})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"nodes":       fi.Flat.Len(),
+			"clients":     fi.Flat.NumClients(),
+			"w":           fi.W,
+			"nod":         fi.NoD(),
+			"pieces":      res.Pieces,
+			"merged":      res.Merged,
+			"rounds":      res.Rounds,
+			"moved":       res.Moved,
+			"workers":     res.Workers,
+			"replicas":    res.Replicas,
+			"lower_bound": res.LowerBound,
+			"gap":         res.Gap,
+			"elapsed_ms":  res.Elapsed.Milliseconds(),
+		})
+	case "text":
+		dmax := "∞"
+		if !fi.NoD() {
+			dmax = fmt.Sprint(fi.DMax)
+		}
+		fmt.Fprintf(stdout, "instance: %d nodes (%d clients) W=%d dmax=%s policy=%s\n",
+			fi.Flat.Len(), fi.Flat.NumClients(), fi.W, dmax, core.Multiple)
+		fmt.Fprintf(stdout, "decomp: %d pieces (%d merged), %d rounds moved %d, %d workers, %v\n",
+			res.Pieces, res.Merged, res.Rounds, res.Moved, res.Workers, res.Elapsed)
+		fmt.Fprintf(stdout, "replicas: %d (lower bound %d, gap %.4f)\n",
+			res.Replicas, res.LowerBound, res.Gap)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
 	}
 }
 

@@ -146,6 +146,64 @@ func TestRunFromFile(t *testing.T) {
 	}
 }
 
+// chunkedStream renders a small instance in the chunked wire format.
+func chunkedStream(t *testing.T) []byte {
+	t.Helper()
+	var in core.Instance
+	if err := json.Unmarshal([]byte(instanceJSON(t)), &in); err != nil {
+		t.Fatal(err)
+	}
+	fi := &core.FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+	var buf bytes.Buffer
+	if err := core.WriteChunked(&buf, fi, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunStreamDecomp: the huge-tree path — chunked input, flat
+// solve, summary output with the gap.
+func TestRunStreamDecomp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-solver", "decomp", "-stream"}, bytes.NewReader(chunkedStream(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gap") {
+		t.Fatalf("decomp stream summary missing the gap:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-solver", "decomp", "-stream", "-format", "json"},
+		bytes.NewReader(chunkedStream(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum map[string]any
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("json summary does not parse: %v", err)
+	}
+	for _, key := range []string{"replicas", "lower_bound", "gap", "pieces"} {
+		if _, ok := sum[key]; !ok {
+			t.Errorf("json summary missing %q", key)
+		}
+	}
+	// Post-passes need the pointer tree; the flat path must refuse them.
+	if err := run([]string{"-solver", "decomp", "-stream", "-latency"},
+		bytes.NewReader(chunkedStream(t)), &out); err == nil {
+		t.Error("-latency accepted on the decomp stream path")
+	}
+}
+
+// TestRunStreamMaterializes: any other solver reads the same stream
+// by materialising the pointer tree.
+func TestRunStreamMaterializes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-solver", "multiple-bin", "-stream"}, bytes.NewReader(chunkedStream(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replicas:") {
+		t.Fatalf("missing replica summary:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-solver", "nope"}, strings.NewReader(instanceJSON(t)), &out); err == nil {

@@ -9,9 +9,18 @@
 //	treegen -kind fig4 -k 8                 # Fig. 4 tight family
 //	treegen -kind i2 -m 2 -b 16 -seed 1     # 3-Partition gadget (YES instance)
 //	treegen -kind i6 -m 3 -seed 1           # 2-Partition-Equal gadget
+//
+// Huge trees: -nodes generates a random instance of ~that many total
+// nodes directly in flat form (no pointer tree), and -stream emits
+// the chunked wire format (core.WriteChunked) that cmd/replica
+// ingests with -stream — a million-node instance never exists as one
+// JSON blob on either side:
+//
+//	treegen -nodes 1000000 -stream -seed 42 | replica -solver decomp -stream
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +30,7 @@ import (
 
 	"replicatree/internal/core"
 	"replicatree/internal/gen"
+	"replicatree/internal/tree"
 )
 
 func main() {
@@ -44,10 +54,22 @@ func run(args []string, stdout io.Writer) error {
 	b := fs.Int64("b", 16, "gadget parameter B (i2)")
 	delta := fs.Int("delta", 2, "gadget parameter Δ (im)")
 	k := fs.Int("k", 4, "gadget parameter K (fig4)")
+	nodes := fs.Int("nodes", 0, "generate ~this many total nodes in flat form (overrides -kind; use with -stream for huge trees)")
+	stream := fs.Bool("stream", false, "emit the streaming chunked format instead of one JSON document")
+	chunk := fs.Int("chunk", 0, "nodes per chunk with -stream (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *nodes > 0 {
+		cfg := gen.TreeConfig{MaxArity: *arity, MaxDist: *maxDist, MaxReq: *maxReq}
+		fi, err := gen.RandomFlatInstance(rng, *nodes, cfg, *withD)
+		if err != nil {
+			return err
+		}
+		return emitFlat(stdout, fi, *stream, *chunk)
+	}
 
 	var in *core.Instance
 	switch *kind {
@@ -106,6 +128,30 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
 
+	if *stream {
+		fi := &core.FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+		return emitFlat(stdout, fi, true, *chunk)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// emitFlat writes a flat instance either chunked (buffered — a
+// million-node stream is tens of MB of small writes) or as the
+// classic single-document instance JSON.
+func emitFlat(stdout io.Writer, fi *core.FlatInstance, stream bool, chunk int) error {
+	if stream {
+		bw := bufio.NewWriterSize(stdout, 1<<20)
+		if err := core.WriteChunked(bw, fi, chunk); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	in, err := fi.Instance()
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(in)

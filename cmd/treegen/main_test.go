@@ -48,6 +48,69 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateFlatNodes: the -nodes path must be deterministic per
+// seed, parse back through the chunked reader with -stream, and land
+// near the requested node budget.
+func TestGenerateFlatNodes(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-nodes", "5000", "-stream", "-seed", "42"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed must generate an identical stream")
+	}
+	fi, err := core.ReadChunked(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("stream does not parse back: %v", err)
+	}
+	if n := fi.Flat.Len(); n < 4000 || n > 5000 {
+		t.Fatalf("generated %d nodes for a budget of 5000", n)
+	}
+	// Without -stream the same generator emits classic instance JSON.
+	var c bytes.Buffer
+	if err := run([]string{"-nodes", "200", "-seed", "42"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	var in core.Instance
+	if err := json.Unmarshal(c.Bytes(), &in); err != nil {
+		t.Fatalf("-nodes without -stream is not instance JSON: %v", err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateLegacyKindStream: -stream also works for the classic
+// kinds, flattening the pointer tree into the chunked format.
+func TestGenerateLegacyKindStream(t *testing.T) {
+	var plain, streamed bytes.Buffer
+	if err := run([]string{"-kind", "binary", "-internals", "8", "-seed", "5"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "binary", "-internals", "8", "-seed", "5", "-stream"}, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	var in core.Instance
+	if err := json.Unmarshal(plain.Bytes(), &in); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := core.ReadChunked(bytes.NewReader(streamed.Bytes()))
+	if err != nil {
+		t.Fatalf("streamed legacy kind does not parse: %v", err)
+	}
+	rt, err := fi.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CanonicalHash() != in.CanonicalHash() {
+		t.Fatal("streamed instance differs from the plain JSON instance")
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-kind", "nope"}, &out); err == nil {

@@ -1,0 +1,237 @@
+package core
+
+// This file implements the chunked instance representation: a
+// streaming wire format plus a flat in-memory instance so a
+// million-node tree is ingested piece-by-piece off an io.Reader
+// instead of one json.Unmarshal of a full-tree blob. Peak memory on
+// the read side is the Flat's parallel arrays plus one chunk of
+// decoded node records; there is never a second full-tree copy
+// (pointer nodes, raw JSON) resident. cmd/treegen emits the format
+// with -stream, cmd/replica consumes it with -stream, and the decomp
+// engine solves the resulting FlatInstance without ever building a
+// pointer Tree.
+//
+// Wire layout: a header value followed by any number of chunk values,
+// concatenated back-to-back (the natural json.Decoder stream shape):
+//
+//	{"format":"replicatree-chunked","version":1,"w":9,"dmax":40,"nodes":7}
+//	{"nodes":[{"id":0,"parent":-1},{"id":1,"parent":0,"dist":2,"requests":5},...]}
+//	{"nodes":[...]}
+//
+// "dmax" is omitted for NoD instances, mirroring the Instance codec.
+// Node records must arrive in dense increasing ID order with every
+// parent before its child (the root is ID 0 with parent -1) — exactly
+// what preorder emission produces and what tree.FlatBuilder ingests.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"replicatree/internal/tree"
+)
+
+// ChunkedFormat is the format tag in the stream header.
+const ChunkedFormat = "replicatree-chunked"
+
+// ChunkedVersion is the current wire version.
+const ChunkedVersion = 1
+
+// DefaultChunkNodes is the default number of node records per chunk
+// value on the write side.
+const DefaultChunkNodes = 8192
+
+// FlatInstance is an Instance whose tree lives in SoA form: the
+// substrate of the huge-tree path. It is what ReadChunked produces
+// and what decomp.SolveFlat consumes.
+type FlatInstance struct {
+	Flat *tree.Flat
+	// W is the per-server capacity, DMax the distance bound
+	// (NoDistance for NoD instances), with the same semantics as the
+	// Instance fields.
+	W    int64
+	DMax int64
+}
+
+// NoD reports whether the instance ignores distances.
+func (fi *FlatInstance) NoD() bool { return fi.DMax == NoDistance }
+
+// Validate checks the parameter invariants (the Flat itself is
+// validated at build time).
+func (fi *FlatInstance) Validate() error {
+	if fi.Flat == nil || fi.Flat.Len() == 0 {
+		return errors.New("core: flat instance has no tree")
+	}
+	if fi.W <= 0 {
+		return fmt.Errorf("core: server capacity W must be positive, got %d", fi.W)
+	}
+	if fi.DMax <= 0 {
+		return fmt.Errorf("core: distance bound must be positive or NoDistance, got %d", fi.DMax)
+	}
+	return nil
+}
+
+// Instance materialises the pointer-tree twin. This allocates the
+// full pointer tree; the huge-tree paths avoid it and work on the
+// Flat directly.
+func (fi *FlatInstance) Instance() (*Instance, error) {
+	t, err := fi.Flat.Tree()
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Tree: t, W: fi.W, DMax: fi.DMax}, nil
+}
+
+// params adapts the flat instance to the Instance-shaped parameter
+// views that Scratch.LowerBound/Verify read (they only touch W and
+// DMax; the tree comes in separately as the Flat).
+func (fi *FlatInstance) params() *Instance {
+	return &Instance{W: fi.W, DMax: fi.DMax}
+}
+
+// LowerBound computes the subtree-sum lower bound directly on the
+// Flat (same value as LowerBound on the pointer twin).
+func (fi *FlatInstance) LowerBound() int {
+	var sc Scratch
+	return sc.LowerBound(fi.Flat, fi.params())
+}
+
+// Verify checks sol against the flat instance under pol, with the
+// same sentinel errors as the package-level Verify.
+func (fi *FlatInstance) Verify(pol Policy, sol *Solution) error {
+	var sc Scratch
+	return sc.Verify(fi.Flat, fi.params(), pol, sol)
+}
+
+// chunkedHeader is the first JSON value of a chunked stream.
+type chunkedHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	W       int64  `json:"w"`
+	DMax    *int64 `json:"dmax,omitempty"`
+	Nodes   int    `json:"nodes"`
+}
+
+// chunkedNode is one node record; the shape matches the jsonNode used
+// by the Tree codec so the two formats describe nodes identically.
+type chunkedNode struct {
+	ID       tree.NodeID `json:"id"`
+	Parent   tree.NodeID `json:"parent"`
+	Dist     int64       `json:"dist,omitempty"`
+	Requests int64       `json:"requests,omitempty"`
+	Label    string      `json:"label,omitempty"`
+}
+
+// chunkedChunk is one chunk value carrying a run of node records.
+type chunkedChunk struct {
+	Nodes []chunkedNode `json:"nodes"`
+}
+
+// WriteChunked emits fi on w in the chunked wire format,
+// chunkNodes records per chunk (0 means DefaultChunkNodes). The
+// Flat's IDs must be topological (root 0, every parent before its
+// child) so a streaming reader can rebuild it in one pass.
+func WriteChunked(w io.Writer, fi *FlatInstance, chunkNodes int) error {
+	if err := fi.Validate(); err != nil {
+		return err
+	}
+	if chunkNodes <= 0 {
+		chunkNodes = DefaultChunkNodes
+	}
+	f := fi.Flat
+	n := f.Len()
+	if f.Root() != 0 {
+		return fmt.Errorf("core: chunked format needs root ID 0, got %d", f.Root())
+	}
+	for j := 1; j < n; j++ {
+		if p := f.Parents[j]; p < 0 || p >= tree.NodeID(j) {
+			return fmt.Errorf("core: chunked format needs topological IDs; node %d has parent %d", j, p)
+		}
+	}
+	enc := json.NewEncoder(w)
+	h := chunkedHeader{Format: ChunkedFormat, Version: ChunkedVersion, W: fi.W, Nodes: n}
+	if !fi.NoD() {
+		d := fi.DMax
+		h.DMax = &d
+	}
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	buf := make([]chunkedNode, 0, chunkNodes)
+	for j := 0; j < n; j++ {
+		nd := chunkedNode{
+			ID:       tree.NodeID(j),
+			Parent:   f.Parents[j],
+			Dist:     f.EdgeLens[j],
+			Requests: f.Reqs[j],
+			Label:    f.Labels[j],
+		}
+		if j == 0 {
+			nd.Parent = tree.None
+			nd.Dist = 0
+		}
+		buf = append(buf, nd)
+		if len(buf) == chunkNodes {
+			if err := enc.Encode(chunkedChunk{Nodes: buf}); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return enc.Encode(chunkedChunk{Nodes: buf})
+	}
+	return nil
+}
+
+// ReadChunked ingests a chunked stream from r and returns the rebuilt
+// flat instance. Decoding is incremental: one chunk of node records
+// is resident at a time, feeding a tree.FlatBuilder.
+func ReadChunked(r io.Reader) (*FlatInstance, error) {
+	dec := json.NewDecoder(r)
+	var h chunkedHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: chunked header: %w", err)
+	}
+	if h.Format != ChunkedFormat {
+		return nil, fmt.Errorf("core: not a chunked instance stream (format %q)", h.Format)
+	}
+	if h.Version != ChunkedVersion {
+		return nil, fmt.Errorf("core: unsupported chunked version %d", h.Version)
+	}
+	if h.Nodes <= 0 {
+		return nil, fmt.Errorf("core: chunked header declares %d nodes", h.Nodes)
+	}
+	fb := tree.NewFlatBuilder(h.Nodes)
+	var ch chunkedChunk
+	for fb.Len() < h.Nodes {
+		ch.Nodes = ch.Nodes[:0] // reuse the chunk buffer across decodes
+		if err := dec.Decode(&ch); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("core: chunked stream truncated: got %d of %d nodes", fb.Len(), h.Nodes)
+			}
+			return nil, fmt.Errorf("core: chunked stream: %w", err)
+		}
+		for _, nd := range ch.Nodes {
+			if nd.ID != tree.NodeID(fb.Len()) {
+				return nil, fmt.Errorf("core: chunked stream: node ID %d out of order (want %d)", nd.ID, fb.Len())
+			}
+			if _, err := fb.Add(nd.Parent, nd.Dist, nd.Requests, nd.Label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := fb.Build()
+	if err != nil {
+		return nil, err
+	}
+	fi := &FlatInstance{Flat: f, W: h.W, DMax: NoDistance}
+	if h.DMax != nil {
+		fi.DMax = *h.DMax
+	}
+	if err := fi.Validate(); err != nil {
+		return nil, err
+	}
+	return fi, nil
+}

@@ -1,0 +1,115 @@
+package core_test
+
+// Tests for the chunked streaming codec and the flat-instance bound
+// and verify paths, pinned against the pointer-tree implementations.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/gen"
+	"replicatree/internal/tree"
+)
+
+func chunkedCorpus(t *testing.T) map[string]*core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	out := map[string]*core.Instance{
+		"random-nod":  gen.RandomInstance(rng, gen.TreeConfig{Internals: 25, MaxArity: 3, ExtraClients: 15}, false),
+		"random-dist": gen.RandomInstance(rng, gen.TreeConfig{Internals: 25, MaxArity: 3, ExtraClients: 15}, true),
+		"binary-dist": gen.RandomInstance(rng, gen.TreeConfig{Internals: 30, MaxArity: 2, ExtraClients: 10}, true),
+	}
+	return out
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	for name, in := range chunkedCorpus(t) {
+		fi := &core.FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+		for _, chunk := range []int{0, 1, 7, 1 << 16} {
+			var buf bytes.Buffer
+			if err := core.WriteChunked(&buf, fi, chunk); err != nil {
+				t.Fatalf("%s chunk %d: write: %v", name, chunk, err)
+			}
+			got, err := core.ReadChunked(&buf)
+			if err != nil {
+				t.Fatalf("%s chunk %d: read: %v", name, chunk, err)
+			}
+			if got.W != fi.W || got.DMax != fi.DMax {
+				t.Fatalf("%s chunk %d: parameters drifted: got W=%d dmax=%d", name, chunk, got.W, got.DMax)
+			}
+			rt, err := got.Instance()
+			if err != nil {
+				t.Fatalf("%s chunk %d: materialise: %v", name, chunk, err)
+			}
+			if rt.CanonicalHash() != in.CanonicalHash() {
+				t.Fatalf("%s chunk %d: canonical hash drifted through the chunked codec", name, chunk)
+			}
+		}
+	}
+}
+
+func TestChunkedHeaderRejects(t *testing.T) {
+	cases := map[string]string{
+		"wrong format":  `{"format":"something-else","version":1,"w":5,"nodes":3}`,
+		"wrong version": `{"format":"replicatree-chunked","version":9,"w":5,"nodes":3}`,
+		"no nodes":      `{"format":"replicatree-chunked","version":1,"w":5,"nodes":0}`,
+		"bad w":         `{"format":"replicatree-chunked","version":1,"w":0,"nodes":3}` + "\n" + `{"nodes":[{"id":0,"parent":-1},{"id":1,"parent":0,"requests":1},{"id":2,"parent":0,"requests":1}]}`,
+		"truncated":     `{"format":"replicatree-chunked","version":1,"w":5,"nodes":4}` + "\n" + `{"nodes":[{"id":0,"parent":-1},{"id":1,"parent":0,"requests":1}]}`,
+		"out of order":  `{"format":"replicatree-chunked","version":1,"w":5,"nodes":3}` + "\n" + `{"nodes":[{"id":0,"parent":-1},{"id":2,"parent":0,"requests":1},{"id":1,"parent":0,"requests":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := core.ReadChunked(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteChunkedRejectsNonTopologicalIDs(t *testing.T) {
+	// A tree whose root is not ID 0 is valid as a Tree but cannot be
+	// streamed (the reader rebuilds parents-first).
+	blob := `{"tree":{"root":1,"nodes":[{"id":0,"parent":1,"dist":2,"requests":3},{"id":1,"parent":-1,"dist":0}]},"w":5}`
+	var in core.Instance
+	if err := in.UnmarshalJSON([]byte(blob)); err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	fi := &core.FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+	var buf bytes.Buffer
+	if err := core.WriteChunked(&buf, fi, 0); err == nil {
+		t.Fatal("non-topological flat accepted")
+	}
+}
+
+// TestFlatInstanceBoundAndVerify pins the flat-side lower bound and
+// verifier against the pointer-tree implementations on solved
+// instances.
+func TestFlatInstanceBoundAndVerify(t *testing.T) {
+	for name, in := range chunkedCorpus(t) {
+		fi := &core.FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+		if got, want := fi.LowerBound(), core.LowerBound(in); got != want {
+			t.Fatalf("%s: flat lower bound %d, pointer %d", name, got, want)
+		}
+		// An everywhere-replica solution is always feasible: each
+		// client serves itself (W >= max requests by construction).
+		sol := &core.Solution{}
+		for _, c := range in.Tree.Clients() {
+			sol.AddReplica(c)
+			sol.Assign(c, c, in.Tree.Requests(c))
+		}
+		sol.Normalize()
+		if err := fi.Verify(core.Multiple, sol); err != nil {
+			t.Fatalf("%s: flat verify rejected a feasible solution: %v", name, err)
+		}
+		if err := core.Verify(in, core.Multiple, sol); err != nil {
+			t.Fatalf("%s: pointer verify rejected the same solution: %v", name, err)
+		}
+		// Corrupt it: overload one server beyond W.
+		bad := sol.Clone()
+		bad.Assignments[0].Amount += in.W
+		if fi.Verify(core.Multiple, bad) == nil {
+			t.Fatalf("%s: flat verify accepted an overloaded server", name)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package decomp implements the subtree decomposition engine: the
+// path that solves trees orders of magnitude larger than any
+// whole-tree engine handles. The pipeline is
+//
+//  1. partition — tree.PartitionFlat splits the Flat at articulation
+//     subtrees into balanced pieces (target size configurable), each a
+//     self-contained instance plus a boundary record;
+//  2. solve — pieces run in parallel through solver.Batch in bounded
+//     waves, each worker on a pooled solver.Scratch, so peak memory is
+//     one wave of piece trees, never the whole pointer forest;
+//  3. stitch — piece placements remap from local to global IDs (piece
+//     local ID i is Piece.Nodes[i]) into one solution, merging back
+//     any piece whose isolated instance was infeasible;
+//  4. coordinate — a price-guided boundary pass re-splits capacity
+//     across the cut edges: the least-loaded boundary replicas (the
+//     price signal: spare capacity nobody pays for) export their flow
+//     to ancestor replicas above their cut, and retire. Rounds repeat
+//     until no replica can be retired or the round budget is spent.
+//
+// The result reports Gap against the subtree-sum lower bound computed
+// directly on the Flat, so a caller knows how far the decomposition
+// is from the global optimum without any engine able to certify it at
+// this scale.
+package decomp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+	"replicatree/internal/tree"
+)
+
+const (
+	// DefaultPieceSize is the target piece size of the partitioner.
+	DefaultPieceSize = 4096
+	// DefaultRounds bounds the boundary coordination loop. Rounds are
+	// cheap relative to the piece solves (one sort plus one sweep of
+	// the assignment list) and the loop stops early at quiescence, so
+	// the default is generous.
+	DefaultRounds = 8
+	// DefaultEngine solves the individual pieces.
+	DefaultEngine = solver.MultipleGreedy
+)
+
+// Options tunes a decomposition solve.
+type Options struct {
+	// TargetPieceSize is the partitioner's target piece size
+	// (0 = DefaultPieceSize).
+	TargetPieceSize int
+	// Engine names the registered engine that solves each piece
+	// ("" = DefaultEngine). It must support the Multiple policy.
+	Engine string
+	// Rounds bounds boundary coordination (0 = DefaultRounds,
+	// negative = no coordination).
+	Rounds int
+	// Workers bounds the piece-solve worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Verify re-checks the stitched solution against the flat
+	// instance before returning.
+	Verify bool
+}
+
+func (o Options) norm() Options {
+	if o.TargetPieceSize <= 0 {
+		o.TargetPieceSize = DefaultPieceSize
+	}
+	if o.Engine == "" {
+		o.Engine = DefaultEngine
+	}
+	if o.Rounds == 0 {
+		o.Rounds = DefaultRounds
+	} else if o.Rounds < 0 {
+		o.Rounds = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is the outcome of a decomposition solve.
+type Result struct {
+	// Solution is the stitched, normalised global placement.
+	Solution *core.Solution
+	// Replicas is the objective |R|.
+	Replicas int
+	// LowerBound is the subtree-sum lower bound of the whole instance
+	// and Gap the relative distance of Replicas above it
+	// ((Replicas-LowerBound)/LowerBound).
+	LowerBound int
+	Gap        float64
+	// Pieces is the number of pieces actually solved (after merges);
+	// Merged counts pieces merged back because their isolated
+	// instance was infeasible.
+	Pieces int
+	Merged int
+	// Rounds is the number of coordination rounds executed and Moved
+	// the number of boundary replicas they retired.
+	Rounds int
+	Moved  int
+	// Workers is the piece-solve parallelism used.
+	Workers int
+	Elapsed time.Duration
+}
+
+// SolveFlat runs the decomposition pipeline on a flat instance. The
+// returned solution follows the Multiple access policy (piece
+// placements may be single-assignment, but coordination splits flows
+// across cut edges).
+func SolveFlat(ctx context.Context, fi *core.FlatInstance, opt Options) (*Result, error) {
+	begin := time.Now()
+	if err := fi.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.norm()
+	eng, err := solver.Lookup(opt.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("decomp: inner engine: %w", err)
+	}
+	f := fi.Flat
+	res := &Result{Workers: opt.Workers}
+	cuts := tree.PartitionPoints(f, opt.TargetPieceSize)
+	sol := &core.Solution{}
+	var pieces []tree.Piece
+	for {
+		pieces = tree.BuildPieces(f, cuts)
+		sol.Replicas = sol.Replicas[:0]
+		sol.Assignments = sol.Assignments[:0]
+		failed, err := solvePieces(ctx, fi, eng, pieces, opt, sol)
+		if err != nil {
+			return nil, err
+		}
+		if len(failed) == 0 {
+			break
+		}
+		// An infeasible piece couples too tightly to its surroundings
+		// (typically a client that needs ancestor capacity above the
+		// cut): merge it back by dropping its cut and re-solve. A
+		// failing root piece has no cut of its own, so it absorbs
+		// everything — the undecomposed fallback.
+		res.Merged += len(failed)
+		if failed[0] == f.Root() {
+			cuts = nil
+		} else {
+			cuts = removeCuts(cuts, failed)
+		}
+	}
+	res.Pieces = len(pieces)
+	res.Rounds, res.Moved = coordinate(fi, pieces, sol, opt.Rounds)
+	sol.Normalize()
+	res.Solution = sol
+	res.Replicas = sol.NumReplicas()
+	res.LowerBound = fi.LowerBound()
+	if res.LowerBound > 0 {
+		res.Gap = float64(res.Replicas-res.LowerBound) / float64(res.LowerBound)
+	}
+	if opt.Verify {
+		if err := fi.Verify(core.Multiple, sol); err != nil {
+			return nil, fmt.Errorf("decomp: stitched solution failed verification: %w", err)
+		}
+	}
+	res.Elapsed = time.Since(begin)
+	return res, nil
+}
+
+// solvePieces solves every piece through solver.Batch in bounded
+// waves, remapping each piece solution into sol as it lands. Only one
+// wave of piece instances (pointer trees) is resident at a time, so
+// peak memory stays bounded by workers, not by tree size. It returns
+// the piece roots whose isolated solves failed (merge candidates); a
+// failure with nothing left to merge is a hard error.
+func solvePieces(ctx context.Context, fi *core.FlatInstance, eng solver.Engine, pieces []tree.Piece, opt Options, sol *core.Solution) ([]tree.NodeID, error) {
+	f := fi.Flat
+	var failed []tree.NodeID
+	wave := opt.Workers * 4
+	if wave < 8 {
+		wave = 8
+	}
+	for lo := 0; lo < len(pieces); lo += wave {
+		hi := min(lo+wave, len(pieces))
+		tasks := make([]solver.Task, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pt, err := tree.PieceTree(f, pieces[i])
+			if err != nil {
+				return nil, fmt.Errorf("decomp: piece %d: %w", pieces[i].Boundary.Root, err)
+			}
+			tasks = append(tasks, solver.Task{
+				ID:     fmt.Sprintf("piece-%d", pieces[i].Boundary.Root),
+				Engine: eng,
+				Request: solver.Request{
+					Instance: &core.Instance{Tree: pt, W: fi.W, DMax: fi.DMax},
+					Deadline: time.Time{},
+					// The global bound is computed once on the Flat;
+					// per-piece bounds would only burn time.
+					Hints: map[string]string{"no-lower-bound": "1"},
+				},
+			})
+		}
+		results, _ := solver.Batch(ctx, tasks, solver.Options{Workers: opt.Workers, WarmScratch: true})
+		for k := range results {
+			r := &results[k]
+			p := &pieces[lo+k]
+			if r.Err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				if len(pieces) == 1 {
+					return nil, fmt.Errorf("decomp: %s failed on the undecomposed tree: %w", eng.Name(), r.Err)
+				}
+				failed = append(failed, p.Boundary.Root)
+				continue
+			}
+			// Remap local IDs to global: piece local ID i is p.Nodes[i].
+			// Pieces are disjoint, so plain appends cannot duplicate.
+			ps := r.Report.Solution
+			for _, s := range ps.Replicas {
+				sol.Replicas = append(sol.Replicas, p.Nodes[s])
+			}
+			for _, a := range ps.Assignments {
+				sol.Assignments = append(sol.Assignments, core.Assignment{
+					Client: p.Nodes[a.Client],
+					Server: p.Nodes[a.Server],
+					Amount: a.Amount,
+				})
+			}
+		}
+	}
+	return failed, nil
+}
+
+// removeCuts returns cuts minus the drop set (both small; the merge
+// path runs at most a handful of times).
+func removeCuts(cuts, drop []tree.NodeID) []tree.NodeID {
+	gone := make(map[tree.NodeID]bool, len(drop))
+	for _, d := range drop {
+		gone[d] = true
+	}
+	out := cuts[:0]
+	for _, c := range cuts {
+		if !gone[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -33,6 +33,11 @@ const (
 	// when the request sets no budget of its own; exhaustion just
 	// drops the candidate from the portfolio.
 	autoExactBudget = int64(2_000_000)
+	// autoDecompMinNodes routes oversized instances to the decomp
+	// engine (when linked in) instead of racing the whole-tree
+	// portfolio on them. The "decomp" hint mirrors the "exact" hint:
+	// "force" routes at any size, "skip" never routes.
+	autoDecompMinNodes = 32768
 )
 
 type autoEngine struct {
@@ -75,6 +80,32 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 		budget = BudgetFrom(ctx)
 	}
 
+	// Oversized instances route to the subtree decomposition engine
+	// when it is linked into the binary: racing whole-tree engines on
+	// a million-node tree is exactly the ceiling decomp exists to
+	// break. Routing is by name (decomp imports this package, so it
+	// cannot be referenced statically); a missing or failing decomp
+	// falls through to the regular portfolio.
+	if dec := req.Hint("decomp"); dec != "skip" && (dec == "force" || in.Tree.Len() >= autoDecompMinNodes) {
+		if eng, err := Lookup(Decomp); err == nil && req.Policy.Allows(core.Multiple) {
+			creq := Request{
+				Instance: in,
+				Budget:   budget,
+				Deadline: req.Deadline,
+				Hints:    map[string]string{"no-lower-bound": "1"},
+			}
+			if drep, derr := eng.Solve(ctx, creq); derr == nil && drep.Solution != nil {
+				rep.Solution = drep.Solution
+				rep.Policy = drep.Policy
+				rep.Engine = drep.Engine
+				rep.Work = drep.Work
+				fillBound(&rep, req)
+				rep.Elapsed = time.Since(begin)
+				return rep, nil
+			}
+		}
+	}
+
 	// Feasibility depends only on the policy, so compute it at most
 	// once per policy instead of per candidate (Feasible walks every
 	// client's eligible-server set).
@@ -97,10 +128,12 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 	capable := 0
 	for _, e := range Engines() {
 		c := e.Capabilities()
-		if c.Name == Auto || c.Hetero || c.Delta {
-			// No self-recursion; hetero engines duplicate the uniform
-			// ones; delta engines optimise churn against a previous
-			// placement, not replica count, so they never compete.
+		if c.Name == Auto || c.Name == Decomp || c.Hetero || c.Delta {
+			// No self-recursion; decomp is routed explicitly above, not
+			// raced (its piece solves already fan out through Batch);
+			// hetero engines duplicate the uniform ones; delta engines
+			// optimise churn against a previous placement, not replica
+			// count, so they never compete.
 			continue
 		}
 		if !req.Policy.Allows(c.Policy) {
@@ -113,9 +146,20 @@ func (a *autoEngine) Solve(ctx context.Context, req Request) (Report, error) {
 			if req.Hint("exact") == "skip" {
 				continue
 			}
-			if req.Hint("exact") != "force" && in.Tree.Len() > autoExactMaxNodes {
+			// Engines registered through the deprecated v1 shim declare
+			// no MaxNodes; exponential ones still get the classic gate.
+			limit := c.MaxNodes
+			if limit == 0 {
+				limit = autoExactMaxNodes
+			}
+			if req.Hint("exact") != "force" && in.Tree.Len() > limit {
 				continue
 			}
+		} else if c.MaxNodes > 0 && in.Tree.Len() > c.MaxNodes {
+			// Polynomial engines with a declared ceiling (lp-round's
+			// simplex tableau is quadratic in the tree) drop out of the
+			// portfolio above it.
+			continue
 		}
 		capable++
 		if !feasible(c.Policy) {

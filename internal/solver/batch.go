@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -74,6 +75,14 @@ type Options struct {
 	// solve goroutine is abandoned, which is safe for this
 	// repository's budgeted, side-effect-free solvers).
 	Timeout time.Duration
+	// WarmScratch lends each task a pooled Scratch, so warm-capable
+	// engines solve on reusable session buffers instead of allocating
+	// per task — the fan-out path of the decomp engine's piece solves.
+	// Scratch-owned solutions are cloned into the Result before the
+	// scratch is pooled again, so results stay valid indefinitely.
+	// Tasks whose Request already carries a Scratch keep their own
+	// (and their results then follow the usual session-buffer rules).
+	WarmScratch bool
 }
 
 // Stats aggregates a finished batch.
@@ -144,7 +153,7 @@ func Batch(ctx context.Context, tasks []Task, opt Options) ([]Result, Stats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runTask(ctx, tasks[i], opt.Timeout)
+				results[i] = runTask(ctx, tasks[i], opt)
 			}
 		}()
 	}
@@ -176,17 +185,34 @@ func Batch(ctx context.Context, tasks []Task, opt Options) ([]Result, Stats) {
 
 // runTask solves one task, enforcing the per-task timeout by racing
 // the solve goroutine against the task context.
-func runTask(ctx context.Context, t Task, timeout time.Duration) Result {
+func runTask(ctx context.Context, t Task, opt Options) Result {
 	res := Result{Task: t}
 	eng, req, err := t.normalize()
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	var sc *Scratch
+	if opt.WarmScratch && req.Scratch == nil {
+		sc = GetScratch()
+		req.Scratch = sc
+	}
+	// settle reclaims the lent scratch after a real outcome: the
+	// scratch-owned solution is cloned first so the Result survives
+	// the scratch's next session.
+	settle := func(rep *Report) {
+		if sc == nil {
+			return
+		}
+		if rep.Solution != nil {
+			rep.Solution = rep.Solution.Clone()
+		}
+		PutScratch(sc)
+	}
 	tctx := ctx
-	if timeout > 0 {
+	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
-		tctx, cancel = context.WithTimeout(ctx, timeout)
+		tctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
 	type outcome struct {
@@ -196,12 +222,19 @@ func runTask(ctx context.Context, t Task, timeout time.Duration) Result {
 	ch := make(chan outcome, 1)
 	begin := time.Now()
 	go func() {
-		rep, err := eng.Solve(tctx, req)
-		ch <- outcome{rep, err}
+		// Profile samples of the fan-out attribute to the engine and
+		// task (go tool pprof -tags): with decomp's piece solves and
+		// auto's candidate races both funnelling through Batch, the
+		// labels are what keeps per-piece/per-engine time apart.
+		pprof.Do(tctx, pprof.Labels("batch_engine", eng.Name(), "batch_task", t.ID), func(c context.Context) {
+			rep, err := eng.Solve(c, req)
+			ch <- outcome{rep, err}
+		})
 	}()
 	select {
 	case o := <-ch:
 		res.Report, res.Err = o.rep, o.err
+		settle(&res.Report)
 	case <-tctx.Done():
 		// The solve may have finished in the same instant the deadline
 		// fired; both select cases ready means a random pick, so drain
@@ -209,8 +242,12 @@ func runTask(ctx context.Context, t Task, timeout time.Duration) Result {
 		select {
 		case o := <-ch:
 			res.Report, res.Err = o.rep, o.err
+			settle(&res.Report)
 		default:
 			res.Err = tctx.Err()
+			// The abandoned solve goroutine still owns the lent scratch;
+			// it is simply never pooled again — losing one scratch is
+			// cheaper than racing its buffers.
 		}
 	}
 	res.Solution = res.Report.Solution

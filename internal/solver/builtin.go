@@ -30,7 +30,18 @@ const (
 	HeteroGreedy   = "hetero-greedy"   // heterogeneous greedy at uniform capacity
 	HeteroExact    = "hetero-exact"    // heterogeneous exact at uniform capacity
 	Auto           = "auto"            // capability-driven portfolio over the registry
+
+	// Decomp is the subtree decomposition engine for huge trees. It
+	// lives in internal/decomp (which imports this package, so it
+	// registers itself from its own init); link it with a blank import
+	// where it is wanted. Auto routes to it by name when present.
+	Decomp = "decomp"
 )
+
+// lpRoundMaxNodes caps lp-round in portfolios: the simplex tableau is
+// quadratic in the tree, so on huge instances it is the memory hog
+// the decomp route exists to avoid.
+const lpRoundMaxNodes = 4096
 
 // caps is a terse Capabilities constructor for the built-in table.
 func caps(name string, pol core.Policy, exact, dmax, het bool, cost CostClass, desc string) Capabilities {
@@ -38,6 +49,13 @@ func caps(name string, pol core.Policy, exact, dmax, het bool, cost CostClass, d
 		Name: name, Policy: pol, Exact: exact,
 		SupportsDMax: dmax, Hetero: het, Cost: cost, Description: desc,
 	}
+}
+
+// sized stamps a size ceiling onto a capability document (see
+// Capabilities.MaxNodes).
+func sized(c Capabilities, maxNodes int) Capabilities {
+	c.MaxNodes = maxNodes
+	return c
 }
 
 // plain adapts the repository's prevailing context-less algorithm
@@ -128,13 +146,13 @@ func init() {
 			return sol, &churn, 0, nil
 		}))
 	MustRegisterEngine(NewEngine(
-		caps(ExactSingle, core.Single, true, true, false, expo, "optimal Single via branch-and-bound over assignments"),
+		sized(caps(ExactSingle, core.Single, true, true, false, expo, "optimal Single via branch-and-bound over assignments"), autoExactMaxNodes),
 		exactFn(exact.SolveSingle)))
 	MustRegisterEngine(NewEngine(
-		caps(ExactMultiple, core.Multiple, true, true, false, expo, "optimal Multiple via set enumeration with a max-flow oracle"),
+		sized(caps(ExactMultiple, core.Multiple, true, true, false, expo, "optimal Multiple via set enumeration with a max-flow oracle"), autoExactMaxNodes),
 		exactFn(exact.SolveMultiple)))
 	MustRegisterEngine(NewEngine(
-		caps(LPRound, core.Multiple, false, true, false, poly, "LP relaxation support rounding"),
+		sized(caps(LPRound, core.Multiple, false, true, false, poly, "LP relaxation support rounding"), lpRoundMaxNodes),
 		func(_ context.Context, req Request) (*core.Solution, int64, error) {
 			if sc := req.Scratch; sc != nil && sc.ingest(req.Instance) == nil {
 				if s, ok := sc.lpSession(); ok {
@@ -151,7 +169,7 @@ func init() {
 			return hetero.Greedy(hetero.FromUniform(in))
 		})))
 	MustRegisterEngine(NewEngine(
-		caps(HeteroExact, core.Multiple, true, true, true, expo, "heterogeneous exact search, run at uniform capacity"),
+		sized(caps(HeteroExact, core.Multiple, true, true, true, expo, "heterogeneous exact search, run at uniform capacity"), autoExactMaxNodes),
 		func(_ context.Context, req Request) (*core.Solution, int64, error) {
 			sol, err := hetero.Solve(hetero.FromUniform(req.Instance), req.Budget)
 			return sol, 0, err

@@ -200,6 +200,11 @@ type Capabilities struct {
 	// count from scratch; portfolios skip them — stability is a
 	// different objective than minimality.
 	Delta bool
+	// MaxNodes is the largest instance (total tree nodes) the engine
+	// is sized for; portfolios drop it from the candidate set above
+	// that. 0 means unbounded — notably the decomp engine, which
+	// exists precisely for instances everything else is too small for.
+	MaxNodes int
 	// Description is a one-line human summary for catalogues.
 	Description string
 }

@@ -39,6 +39,9 @@ func TestCapabilitiesPinned(t *testing.T) {
 		HeteroGreedy:   {Policy: core.Multiple, SupportsDMax: true, Hetero: true, Cost: CostPolynomial},
 		HeteroExact:    {Policy: core.Multiple, Exact: true, SupportsDMax: true, Hetero: true, Cost: CostExponential},
 		Auto:           {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
+		// Registered by internal/decomp (linked into this test binary
+		// through the external route_decomp_test.go file).
+		Decomp: {Policy: core.Multiple, SupportsDMax: true, Cost: CostPolynomial},
 	}
 	for name, w := range want {
 		eng, err := Lookup(name)

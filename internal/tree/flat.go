@@ -142,7 +142,14 @@ func FlattenInto(f *Flat, t *Tree) {
 		}
 	}
 	f.NextSibling[f.root] = None
+	f.computeOrders()
+}
 
+// computeOrders fills f.Pre and f.Post from the parent/child-chain
+// arrays. The chain arrays must be complete and f.Pre/f.Post must
+// already have length f.Len(). Shared by FlattenInto and FlatBuilder.
+func (f *Flat) computeOrders() {
+	n := f.Len()
 	// Preorder: explicit stack, children pushed in reverse so they pop
 	// in child-list order — identical to the recursive PreOrder.
 	// Postorder: pop order "node then children pushed in order" is the

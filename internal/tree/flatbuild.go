@@ -1,0 +1,125 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FlatBuilder constructs a Flat incrementally, one node at a time,
+// without ever materialising a pointer Tree. It is the ingestion side
+// of the chunked/streaming instance representation: a million-node
+// tree arrives as a sequence of Add calls driven by an io.Reader, and
+// peak memory is the Flat's parallel arrays — there is never a second
+// full-tree copy (pointer nodes, JSON blob) resident.
+//
+// Nodes must arrive in topological ID order: the root first (parent
+// None, assigned ID 0), then every node strictly after its parent.
+// IDs are assigned densely in arrival order, so callers that persist
+// trees only need to emit nodes parent-before-child — exactly what
+// preorder emission (tree export, the chunked wire format, streaming
+// generators) produces naturally. Child order is arrival order, which
+// for ID-sorted input matches the order Tree's JSON codec produces.
+type FlatBuilder struct {
+	f Flat
+	// lastChild[p] is the most recently added child of p, tail of the
+	// FirstChild/NextSibling chain under construction.
+	lastChild []NodeID
+	done      bool
+}
+
+// NewFlatBuilder returns a builder with capacity for n nodes
+// preallocated (n may be 0 if the final size is unknown).
+func NewFlatBuilder(n int) *FlatBuilder {
+	b := &FlatBuilder{}
+	if n > 0 {
+		b.f.Parents = make([]NodeID, 0, n)
+		b.f.FirstChild = make([]NodeID, 0, n)
+		b.f.NextSibling = make([]NodeID, 0, n)
+		b.f.EdgeLens = make([]int64, 0, n)
+		b.f.Reqs = make([]int64, 0, n)
+		b.f.Labels = make([]string, 0, n)
+		b.lastChild = make([]NodeID, 0, n)
+	}
+	return b
+}
+
+// Len returns the number of nodes added so far (also the ID the next
+// Add will assign).
+func (b *FlatBuilder) Len() int { return len(b.f.Parents) }
+
+// Add appends one node and returns its ID. The first call must be the
+// root (parent None); every later call must name an already-added
+// parent. dist is the length of the edge to the parent (pass 0 for
+// the root). requests must be 0 for any node that later receives
+// children; Build enforces this.
+func (b *FlatBuilder) Add(parent NodeID, dist, requests int64, label string) (NodeID, error) {
+	if b.done {
+		return None, errors.New("tree: FlatBuilder reused after Build")
+	}
+	id := NodeID(len(b.f.Parents))
+	if parent == None {
+		if id != 0 {
+			return None, fmt.Errorf("tree: node %d has no parent; only the first node may be the root", id)
+		}
+	} else if parent < 0 || parent >= id {
+		return None, fmt.Errorf("tree: node %d has parent %d, want an already-added node (topological ID order)", id, parent)
+	}
+	if dist < 0 || dist >= Infinity {
+		return None, fmt.Errorf("tree: node %d has invalid edge length %d", id, dist)
+	}
+	if requests < 0 {
+		return None, fmt.Errorf("tree: node %d has negative request count %d", id, requests)
+	}
+	b.f.Parents = append(b.f.Parents, parent)
+	b.f.FirstChild = append(b.f.FirstChild, None)
+	b.f.NextSibling = append(b.f.NextSibling, None)
+	b.f.EdgeLens = append(b.f.EdgeLens, dist)
+	b.f.Reqs = append(b.f.Reqs, requests)
+	b.f.Labels = append(b.f.Labels, label)
+	b.lastChild = append(b.lastChild, None)
+	if parent != None {
+		if last := b.lastChild[parent]; last == None {
+			b.f.FirstChild[parent] = id
+		} else {
+			b.f.NextSibling[last] = id
+		}
+		b.lastChild[parent] = id
+	}
+	return id, nil
+}
+
+// Build finalises and validates the Flat. The builder must not be
+// used again afterwards. Topological arrival order already guarantees
+// a single connected rooted tree, so validation only needs the local
+// invariants: a non-empty tree, an internal root, and zero requests
+// on internal nodes (zero-request leaf clients are allowed, matching
+// Tree.Validate).
+func (b *FlatBuilder) Build() (*Flat, error) {
+	if b.done {
+		return nil, errors.New("tree: FlatBuilder reused after Build")
+	}
+	n := len(b.f.Parents)
+	if n == 0 {
+		return nil, errors.New("tree: empty tree")
+	}
+	if b.f.FirstChild[0] == None {
+		return nil, errors.New("tree: root must be an internal node")
+	}
+	clients := 0
+	for j := 0; j < n; j++ {
+		if b.f.FirstChild[j] == None {
+			clients++
+		} else if b.f.Reqs[j] != 0 {
+			return nil, fmt.Errorf("tree: internal node %d has nonzero request count %d", j, b.f.Reqs[j])
+		}
+	}
+	b.done = true
+	b.lastChild = nil
+	f := &b.f
+	f.root = 0
+	f.numClients = clients
+	f.Pre = make([]NodeID, n)
+	f.Post = make([]NodeID, n)
+	f.computeOrders()
+	return f, nil
+}

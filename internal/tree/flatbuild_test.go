@@ -1,0 +1,120 @@
+package tree_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"replicatree/internal/gen"
+	"replicatree/internal/tree"
+)
+
+// rebuildFlat replays a tree node-by-node in ID order through a
+// FlatBuilder. Builder-produced trees are topological (parents before
+// children), so ID order is a valid arrival order.
+func rebuildFlat(t *testing.T, tr *tree.Tree) *tree.Flat {
+	t.Helper()
+	fb := tree.NewFlatBuilder(tr.Len())
+	for j := 0; j < tr.Len(); j++ {
+		id := tree.NodeID(j)
+		dist := int64(0)
+		if id != tr.Root() {
+			dist = tr.Dist(id)
+		}
+		got, err := fb.Add(tr.Parent(id), dist, tr.Requests(id), tr.Label(id))
+		if err != nil {
+			t.Fatalf("Add(%d): %v", j, err)
+		}
+		if got != id {
+			t.Fatalf("Add(%d) assigned ID %d", j, got)
+		}
+	}
+	f, err := fb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f
+}
+
+// TestFlatBuilderMatchesFlatten pins the builder against Flatten: the
+// incremental construction must produce the identical Flat, Pre/Post
+// permutations included, for every generator shape.
+func TestFlatBuilderMatchesFlatten(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := map[string]*tree.Tree{
+		"random":      gen.RandomTree(rng, gen.TreeConfig{Internals: 40, MaxArity: 4, ExtraClients: 25}),
+		"caterpillar": gen.Caterpillar(rng, 30, 3, 10),
+		"complete":    gen.CompleteBinary(rng, 5, 3, 10),
+	}
+	for name, tr := range shapes {
+		want := tree.Flatten(tr)
+		got := rebuildFlat(t, tr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: FlatBuilder result differs from Flatten", name)
+		}
+	}
+}
+
+func TestFlatBuilderErrors(t *testing.T) {
+	t.Run("non-root without parent", func(t *testing.T) {
+		fb := tree.NewFlatBuilder(0)
+		if _, err := fb.Add(tree.None, 0, 0, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Add(tree.None, 1, 0, ""); err == nil {
+			t.Fatal("second parentless node accepted")
+		}
+	})
+	t.Run("forward parent reference", func(t *testing.T) {
+		fb := tree.NewFlatBuilder(0)
+		if _, err := fb.Add(tree.None, 0, 0, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Add(5, 1, 0, ""); err == nil {
+			t.Fatal("forward parent accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := tree.NewFlatBuilder(0).Build(); err == nil {
+			t.Fatal("empty build accepted")
+		}
+	})
+	t.Run("leaf root", func(t *testing.T) {
+		fb := tree.NewFlatBuilder(0)
+		if _, err := fb.Add(tree.None, 0, 0, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Build(); err == nil {
+			t.Fatal("childless root accepted")
+		}
+	})
+	t.Run("internal with requests", func(t *testing.T) {
+		fb := tree.NewFlatBuilder(0)
+		if _, err := fb.Add(tree.None, 0, 0, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Add(0, 1, 7, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Add(1, 1, 3, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Build(); err == nil {
+			t.Fatal("internal node with requests accepted")
+		}
+	})
+	t.Run("reuse after build", func(t *testing.T) {
+		fb := tree.NewFlatBuilder(0)
+		fb.Add(tree.None, 0, 0, "")
+		fb.Add(0, 1, 2, "")
+		if _, err := fb.Build(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.Add(0, 1, 2, ""); err == nil {
+			t.Fatal("Add after Build accepted")
+		}
+		if _, err := fb.Build(); err == nil {
+			t.Fatal("second Build accepted")
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the subtree partitioner behind the decomp
+// engine (internal/decomp): a bottom-up accumulate-and-cut pass that
+// splits a Flat at subtree roots into balanced pieces. Every cut is
+// at an articulation subtree — the piece hanging below a cut node is
+// a complete subtree minus its own descendant pieces — so each piece
+// is itself a valid rooted tree and couples to the rest of the
+// instance only through the single cut edge recorded in its boundary.
+
+// PieceBoundary records how a piece connects to the rest of the tree:
+// the single cut edge above the piece root plus the aggregate demand
+// figures the coordinator needs to reason about the piece without
+// reading its nodes.
+type PieceBoundary struct {
+	// Root is the piece's root in global IDs.
+	Root NodeID
+	// CutParent is Root's parent in the original tree, None for the
+	// piece containing the global root.
+	CutParent NodeID
+	// CutEdge is δ(Root), the length of the cut edge (0 for the root
+	// piece).
+	CutEdge int64
+	// UpDist is the total edge length from Root up to the global root
+	// — the residual depth budget: a client at in-piece depth d sits
+	// at distance d+UpDist from the global root.
+	UpDist int64
+	// Demand is the total requests of clients inside the piece.
+	Demand int64
+	// SubtreeDemand is the total requests of the entire original
+	// subtree rooted at Root (Demand plus everything cut away below).
+	SubtreeDemand int64
+}
+
+// Piece is one element of a partition: a boundary record plus the
+// piece's node set in global preorder (Nodes[0] == Boundary.Root,
+// every other node's parent precedes it in the slice).
+type Piece struct {
+	Boundary PieceBoundary
+	Nodes    []NodeID
+}
+
+// PartitionFlat splits f into pieces of roughly target nodes each.
+// It is shorthand for BuildPieces(f, PartitionPoints(f, target)).
+func PartitionFlat(f *Flat, target int) []Piece {
+	return BuildPieces(f, PartitionPoints(f, target))
+}
+
+// PartitionPoints runs the accumulate-and-cut pass and returns the
+// cut nodes in increasing ID order (the global root is never listed;
+// it is implicitly always a piece root). Walking the postorder, each
+// node accumulates the sizes of its children's uncut remainders; an
+// internal non-root node whose accumulated size reaches target
+// becomes a cut. Pieces therefore have between target and roughly
+// 1 + maxArity·(target-1) nodes, except the root piece which may be
+// smaller. An empty slice (single piece = whole tree) is valid.
+func PartitionPoints(f *Flat, target int) []NodeID {
+	if target < 2 {
+		target = 2
+	}
+	n := f.Len()
+	if n <= target {
+		return nil
+	}
+	root := f.Root()
+	acc := make([]int64, n)
+	var cuts []NodeID
+	for _, j := range f.Post {
+		sz := int64(1)
+		for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+			sz += acc[c]
+		}
+		// A cut needs sz >= target >= 2, which implies at least one
+		// uncut child: the piece root stays internal inside its piece.
+		if j != root && sz >= int64(target) {
+			cuts = append(cuts, j)
+			sz = 0
+		}
+		acc[j] = sz
+	}
+	// acc[root] == 1 means every child of the root was itself cut,
+	// leaving the root piece a bare root — not a valid instance. Merge
+	// the smallest-ID child cut back into the root piece.
+	if len(cuts) > 0 && acc[root] == 1 {
+		drop := None
+		for _, c := range cuts {
+			if f.Parents[c] == root && (drop == None || c < drop) {
+				drop = c
+			}
+		}
+		out := cuts[:0]
+		for _, c := range cuts {
+			if c != drop {
+				out = append(out, c)
+			}
+		}
+		cuts = out
+	}
+	sort.Slice(cuts, func(i, k int) bool { return cuts[i] < cuts[k] })
+	return cuts
+}
+
+// BuildPieces materialises the partition induced by the given cut
+// nodes (each must be an internal non-root node). Pieces are returned
+// in preorder of their roots, so the piece containing the global root
+// is always first. Every node of f lands in exactly one piece.
+func BuildPieces(f *Flat, cuts []NodeID) []Piece {
+	n := f.Len()
+	isCut := make([]bool, n)
+	for _, c := range cuts {
+		isCut[c] = true
+	}
+	root := f.Root()
+	isCut[root] = true
+
+	// Subtree demand (requests of the full original subtree) per node,
+	// for the boundary records.
+	sub := make([]int64, n)
+	for _, j := range f.Post {
+		s := f.Reqs[j]
+		for c := f.FirstChild[j]; c != None; c = f.NextSibling[c] {
+			s += sub[c]
+		}
+		sub[j] = s
+	}
+
+	pieces := make([]Piece, 0, len(cuts)+1)
+	pieceOf := make([]int32, n)
+	var depth int64 // root-distance of the node being visited
+	dist := make([]int64, n)
+	for _, j := range f.Pre {
+		if j == root {
+			depth = 0
+		} else {
+			depth = SatAdd(dist[f.Parents[j]], f.EdgeLens[j])
+		}
+		dist[j] = depth
+		if isCut[j] {
+			pb := PieceBoundary{
+				Root:          j,
+				CutParent:     None,
+				UpDist:        depth,
+				SubtreeDemand: sub[j],
+			}
+			if j != root {
+				pb.CutParent = f.Parents[j]
+				pb.CutEdge = f.EdgeLens[j]
+			}
+			pieceOf[j] = int32(len(pieces))
+			pieces = append(pieces, Piece{Boundary: pb})
+		} else {
+			pieceOf[j] = pieceOf[f.Parents[j]]
+		}
+		k := pieceOf[j]
+		pieces[k].Nodes = append(pieces[k].Nodes, j)
+		pieces[k].Boundary.Demand += f.Reqs[j]
+	}
+	return pieces
+}
+
+// PieceTree materialises piece p as a standalone pointer Tree with
+// dense local IDs: local ID i is global ID p.Nodes[i] (in particular
+// the local root 0 is the piece root), which is also how callers map
+// a piece solution back to global IDs. Internal nodes whose children
+// were all cut away become zero-request leaf clients — valid per
+// Tree.Validate, and harmless: they demand nothing.
+func PieceTree(f *Flat, p Piece) (*Tree, error) {
+	if len(p.Nodes) == 0 || p.Nodes[0] != p.Boundary.Root {
+		return nil, fmt.Errorf("tree: malformed piece (root %d)", p.Boundary.Root)
+	}
+	local := make(map[NodeID]NodeID, len(p.Nodes))
+	// A node is internal inside the piece iff some piece node names it
+	// as parent.
+	hasChild := make(map[NodeID]bool, len(p.Nodes))
+	for _, g := range p.Nodes[1:] {
+		hasChild[f.Parents[g]] = true
+	}
+	b := NewBuilder()
+	for i, g := range p.Nodes {
+		if i == 0 {
+			local[g] = b.Root(f.Labels[g])
+			continue
+		}
+		lp, ok := local[f.Parents[g]]
+		if !ok {
+			return nil, fmt.Errorf("tree: piece node %d appears before its parent", g)
+		}
+		if hasChild[g] {
+			local[g] = b.Internal(lp, f.EdgeLens[g], f.Labels[g])
+		} else {
+			local[g] = b.Client(lp, f.EdgeLens[g], f.Reqs[g], f.Labels[g])
+		}
+	}
+	return b.Build()
+}
