@@ -1,0 +1,129 @@
+package cert_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"replicatree/internal/cert"
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+// TestEncodeGoldenBytes pins the canonical encoding byte-for-byte
+// against testdata/golden_v1.hex. Any drift here is a breaking change
+// to every persisted certificate and Merkle root: bump cert.Version
+// and regenerate with `go generate ./internal/cert/...` only on
+// purpose.
+func TestEncodeGoldenBytes(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v1.hex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := cert.Encode(cert.GoldenCertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(enc); got != strings.TrimSpace(string(want)) {
+		t.Fatalf("canonical encoding drifted from testdata/golden_v1.hex:\n got %s\nwant %s", got, strings.TrimSpace(string(want)))
+	}
+	if !bytes.HasPrefix(enc, []byte("RTCERT")) {
+		t.Fatal("encoding does not start with the RTCERT magic")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := cert.Encode(cert.GoldenCertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cert.Encode(cert.GoldenCertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same certificate differ")
+	}
+	h1, err := cert.GoldenCertificate().HashHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := cert.GoldenCertificate().HashHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("leaf hash unstable or malformed: %q vs %q", h1, h2)
+	}
+}
+
+// TestEncodeCoversEveryField: flipping any encoded field must change
+// the bytes — otherwise the Merkle commitment would not bind it.
+func TestEncodeCoversEveryField(t *testing.T) {
+	base, err := cert.Encode(cert.GoldenCertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(c *cert.Certificate){
+		"instance-hash": func(c *cert.Certificate) {
+			c.InstanceHash = strings.Repeat("ab", 32)
+		},
+		"engine":     func(c *cert.Certificate) { c.Engine = "other-engine" },
+		"policy":     func(c *cert.Certificate) { c.Policy = core.Single.String() },
+		"replicas":   func(c *cert.Certificate) { c.Replicas++ },
+		"work":       func(c *cert.Certificate) { c.Work++ },
+		"bound":      func(c *cert.Certificate) { c.Bound.Value++ },
+		"optimality": func(c *cert.Certificate) { c.Optimality = nil },
+		"optimality-engine": func(c *cert.Certificate) {
+			c.Optimality.Engine = "someone-else"
+		},
+		"witness-replica": func(c *cert.Certificate) { c.Witness.Replicas[0]++ },
+		"witness-assignment": func(c *cert.Certificate) {
+			c.Witness.Assignments[1].Amount++
+		},
+	}
+	for name, mutate := range mutations {
+		c := cert.GoldenCertificate()
+		mutate(c)
+		enc, err := cert.Encode(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bytes.Equal(enc, base) {
+			t.Errorf("%s: mutation did not change the canonical encoding", name)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	for name, mutate := range map[string]func(c *cert.Certificate){
+		"bad-hash":       func(c *cert.Certificate) { c.InstanceHash = "zz" },
+		"no-witness":     func(c *cert.Certificate) { c.Witness = nil },
+		"unknown-policy": func(c *cert.Certificate) { c.Policy = "Quorum" },
+		"overlong-engine": func(c *cert.Certificate) {
+			c.Engine = strings.Repeat("x", 1<<16)
+		},
+	} {
+		c := cert.GoldenCertificate()
+		mutate(c)
+		if _, err := cert.Encode(c); err == nil {
+			t.Errorf("%s: Encode accepted a malformed certificate", name)
+		}
+	}
+}
+
+// TestGoldenCertificateValidates: the pinned fixture itself must be
+// internally consistent, or the golden bytes pin a cert no verifier
+// would accept.
+func TestGoldenCertificateValidates(t *testing.T) {
+	if err := cert.GoldenCertificate().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := cert.GoldenCertificate()
+	if g.Witness.Replicas[0] != tree.NodeID(0) {
+		t.Fatal("fixture witness drifted") // keep the fixture stable on purpose
+	}
+}

@@ -1,0 +1,33 @@
+// Command gengolden regenerates internal/cert/testdata/golden_v1.hex,
+// the pinned canonical encoding of cert.GoldenCertificate. Run it via
+// `go generate ./internal/cert/...` after an intentional encoding
+// change (which must also bump cert.Version); the corpus-drift CI job
+// fails when the checked-in bytes no longer match the code.
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"replicatree/internal/cert"
+)
+
+func main() {
+	enc, err := cert.Encode(cert.GoldenCertificate())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengolden: %v\n", err)
+		os.Exit(1)
+	}
+	out := filepath.Join("testdata", "golden_v1.hex")
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "gengolden: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, []byte(hex.EncodeToString(enc)+"\n"), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gengolden: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes encoded)\n", out, len(enc))
+}

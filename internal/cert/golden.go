@@ -1,0 +1,38 @@
+package cert
+
+import (
+	"replicatree/internal/core"
+	"replicatree/internal/tree"
+)
+
+//go:generate go run ./gengolden
+
+// GoldenCertificate returns the fixed certificate whose canonical
+// encoding is pinned byte-for-byte in testdata/golden_v1.hex. It
+// exercises every encoded field, including the optional optimality
+// attestation. The fixture is shared by the golden-bytes test and the
+// go:generate regenerator (./gengolden); the corpus-drift CI job
+// fails when the encoding of this value drifts from the checked-in
+// bytes — the contract that certificates stay byte-reproducible
+// across Go versions and platforms.
+func GoldenCertificate() *Certificate {
+	return &Certificate{
+		Version:      Version,
+		InstanceHash: "9c3f8a5b1e2d4c6f8091a2b3c4d5e6f70123456789abcdef0123456789abcdef",
+		Engine:       "exact-multiple",
+		Policy:       "Multiple",
+		Replicas:     3,
+		Work:         12345,
+		Bound:        BoundAttestation{Kind: BoundKindSubtreeSum, Value: 2},
+		Gap:          0.5,
+		Optimality:   &OptimalityAttestation{Engine: "exact-multiple", Work: 12345},
+		Witness: &core.Solution{
+			Replicas: []tree.NodeID{0, 2, 5},
+			Assignments: []core.Assignment{
+				{Client: 3, Server: 0, Amount: 4},
+				{Client: 4, Server: 2, Amount: 7},
+				{Client: 6, Server: 5, Amount: 9},
+			},
+		},
+	}
+}

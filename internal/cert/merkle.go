@@ -1,0 +1,164 @@
+package cert
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+// Merkle batching: a job's task certificates become the leaves of a
+// binary Merkle tree, the job commits to the single root, and any one
+// result carries an O(log n) inclusion proof. The leaf count is
+// padded to the next power of two with a fixed padding hash, so every
+// proof of an n-leaf tree is exactly ⌈log₂ n⌉ sibling hashes — the
+// property the proof-size test pins for n = 1…512.
+//
+// Domain separation (cf. RFC 6962 and the CTngV3/indexed-Merkle-tree
+// exemplars): leaf hashes are SHA-256(0x00 ‖ encoding), interior
+// nodes SHA-256(0x01 ‖ left ‖ right), and the padding leaf is the
+// constant SHA-256(0x02 ‖ "replicatree-cert:pad") — three disjoint
+// preimage spaces, so no second-preimage tricks can move a value
+// between tree levels or into the padding.
+
+// padLeaf is the padding leaf hash (see package comment above).
+var padLeaf = func() [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	h.Write([]byte("replicatree-cert:pad"))
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}()
+
+// nodeHash combines two children into their parent.
+func nodeHash(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// Tree is a built Merkle tree over certificate leaf hashes. Build one
+// with NewTree; it is immutable afterwards and safe for concurrent
+// reads.
+type Tree struct {
+	n      int          // real (unpadded) leaf count
+	levels [][][32]byte // levels[0] = padded leaves … levels[depth] = {root}
+}
+
+// NewTree builds the tree over the given leaf hashes (in leaf-index
+// order). It errors on an empty batch — an empty job commits to
+// nothing.
+func NewTree(leaves [][32]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("%w: cannot build a Merkle tree over zero leaves", ErrMalformed)
+	}
+	padded := 1 << ceilLog2(len(leaves))
+	level := make([][32]byte, padded)
+	copy(level, leaves)
+	for i := len(leaves); i < padded; i++ {
+		level[i] = padLeaf
+	}
+	t := &Tree{n: len(leaves), levels: [][][32]byte{level}}
+	for len(level) > 1 {
+		next := make([][32]byte, len(level)/2)
+		for i := range next {
+			next[i] = nodeHash(level[2*i], level[2*i+1])
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Len returns the real (unpadded) leaf count.
+func (t *Tree) Len() int { return t.n }
+
+// Depth returns the proof length in hashes: ⌈log₂ Len⌉.
+func (t *Tree) Depth() int { return len(t.levels) - 1 }
+
+// Root returns the Merkle root.
+func (t *Tree) Root() [32]byte { return t.levels[len(t.levels)-1][0] }
+
+// RootHex returns the root as lowercase hex — the form jobs commit to
+// on the wire.
+func (t *Tree) RootHex() string {
+	r := t.Root()
+	return hex.EncodeToString(r[:])
+}
+
+// Proof is an inclusion proof: the sibling hashes from a leaf up to
+// (but excluding) the root, leaf level first.
+type Proof struct {
+	// LeafIndex is the leaf's position in the batch.
+	LeafIndex int `json:"leaf_index"`
+	// Leaves is the batch's real leaf count, for consumers that want
+	// to check the ⌈log₂ n⌉ proof-size invariant.
+	Leaves int `json:"leaves"`
+	// Siblings are the sibling hashes in lowercase hex, leaf level
+	// first. len(Siblings) == ⌈log₂ Leaves⌉.
+	Siblings []string `json:"siblings"`
+}
+
+// Proof returns the inclusion proof for leaf i.
+func (t *Tree) Proof(i int) (*Proof, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: leaf index %d out of range (batch of %d)", ErrProof, i, t.n)
+	}
+	p := &Proof{LeafIndex: i, Leaves: t.n, Siblings: make([]string, 0, t.Depth())}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := level[idx^1]
+		p.Siblings = append(p.Siblings, hex.EncodeToString(sib[:]))
+		idx >>= 1
+	}
+	return p, nil
+}
+
+// VerifyInclusion checks that the certificate leaf hash sits at
+// p.LeafIndex under the given root (lowercase hex). It recomputes the
+// root from the sibling path — O(log n) hashes — and fails with
+// ErrProof on any forgery: wrong sibling, wrong index, truncated or
+// overlong path, wrong root.
+func VerifyInclusion(rootHex string, leaf [32]byte, p *Proof) error {
+	if p == nil {
+		return fmt.Errorf("%w: missing proof", ErrProof)
+	}
+	if p.LeafIndex < 0 || p.LeafIndex >= 1<<len(p.Siblings) {
+		return fmt.Errorf("%w: leaf index %d out of range for a depth-%d path",
+			ErrProof, p.LeafIndex, len(p.Siblings))
+	}
+	if p.Leaves > 0 && len(p.Siblings) != ceilLog2(p.Leaves) {
+		return fmt.Errorf("%w: %d siblings for a batch of %d (want ⌈log₂⌉ = %d)",
+			ErrProof, len(p.Siblings), p.Leaves, ceilLog2(p.Leaves))
+	}
+	h := leaf
+	idx := p.LeafIndex
+	for _, sibHex := range p.Siblings {
+		sib, err := hex.DecodeString(sibHex)
+		if err != nil || len(sib) != 32 {
+			return fmt.Errorf("%w: sibling %q is not a 32-byte hex hash", ErrProof, sibHex)
+		}
+		var s [32]byte
+		copy(s[:], sib)
+		if idx&1 == 0 {
+			h = nodeHash(h, s)
+		} else {
+			h = nodeHash(s, h)
+		}
+		idx >>= 1
+	}
+	if got := hex.EncodeToString(h[:]); got != rootHex {
+		return fmt.Errorf("%w: path reconstructs root %s, batch committed to %s", ErrProof, got, rootHex)
+	}
+	return nil
+}
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 1.
+func ceilLog2(n int) int {
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,154 @@
+package cert_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/bits"
+	"strings"
+	"testing"
+
+	"replicatree/internal/cert"
+)
+
+func syntheticLeaves(n int) [][32]byte {
+	leaves := make([][32]byte, n)
+	for i := range leaves {
+		var seed [8]byte
+		binary.BigEndian.PutUint64(seed[:], uint64(i))
+		leaves[i] = sha256.Sum256(seed[:])
+	}
+	return leaves
+}
+
+// TestProofSizeProperty pins the acceptance invariant: for every batch
+// size n = 1…512, every inclusion proof is exactly ⌈log₂ n⌉ sibling
+// hashes, and every proof verifies against the root.
+func TestProofSizeProperty(t *testing.T) {
+	for n := 1; n <= 512; n++ {
+		leaves := syntheticLeaves(n)
+		mt, err := cert.NewTree(leaves)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := bits.Len(uint(n - 1)) // ⌈log₂ n⌉, 0 for n=1
+		if mt.Depth() != want {
+			t.Fatalf("n=%d: tree depth %d, want ⌈log₂ n⌉ = %d", n, mt.Depth(), want)
+		}
+		root := mt.RootHex()
+		for i := 0; i < n; i++ {
+			p, err := mt.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d leaf=%d: %v", n, i, err)
+			}
+			if len(p.Siblings) != want {
+				t.Fatalf("n=%d leaf=%d: proof has %d siblings, want %d", n, i, len(p.Siblings), want)
+			}
+			if err := cert.VerifyInclusion(root, leaves[i], p); err != nil {
+				t.Fatalf("n=%d leaf=%d: valid proof rejected: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestMerkleDeterministicRoot(t *testing.T) {
+	a, err := cert.NewTree(syntheticLeaves(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cert.NewTree(syntheticLeaves(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RootHex() != b.RootHex() {
+		t.Fatal("same leaves, different roots")
+	}
+	// Padding must not make a 7-leaf batch collide with an 8-leaf one.
+	c, err := cert.NewTree(syntheticLeaves(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RootHex() == c.RootHex() {
+		t.Fatal("7-leaf and 8-leaf batches share a root")
+	}
+}
+
+func TestMerkleProofTampering(t *testing.T) {
+	leaves := syntheticLeaves(10)
+	mt, err := cert.NewTree(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := mt.RootHex()
+	fresh := func(i int) *cert.Proof {
+		p, err := mt.Proof(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := map[string]struct {
+		leaf  [32]byte
+		proof *cert.Proof
+		root  string
+	}{
+		"wrong-leaf": {leaves[4], fresh(3), root},
+		"forged-sibling": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.Siblings[1] = strings.Repeat("ab", 32)
+			return p
+		}(), root},
+		"wrong-index": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.LeafIndex = 5
+			return p
+		}(), root},
+		"truncated-path": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.Siblings = p.Siblings[:len(p.Siblings)-1]
+			return p
+		}(), root},
+		"overlong-path": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.Siblings = append(p.Siblings, p.Siblings[0])
+			return p
+		}(), root},
+		"garbage-sibling": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.Siblings[0] = "not-hex"
+			return p
+		}(), root},
+		"wrong-root": {leaves[3], fresh(3), strings.Repeat("cd", 32)},
+		"nil-proof":  {leaves[3], nil, root},
+		"negative-index": {leaves[3], func() *cert.Proof {
+			p := fresh(3)
+			p.LeafIndex = -1
+			return p
+		}(), root},
+	}
+	for name, tc := range cases {
+		err := cert.VerifyInclusion(tc.root, tc.leaf, tc.proof)
+		if !errors.Is(err, cert.ErrProof) {
+			t.Errorf("%s: want ErrProof, got %v", name, err)
+		}
+	}
+}
+
+func TestMerkleEdges(t *testing.T) {
+	if _, err := cert.NewTree(nil); !errors.Is(err, cert.ErrMalformed) {
+		t.Errorf("empty batch: want ErrMalformed, got %v", err)
+	}
+	mt, err := cert.NewTree(syntheticLeaves(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 5, 100} {
+		if _, err := mt.Proof(i); !errors.Is(err, cert.ErrProof) {
+			t.Errorf("proof(%d): want ErrProof, got %v", i, err)
+		}
+	}
+	if mt.Len() != 5 {
+		t.Errorf("Len() = %d, want 5 (padding must not leak into the leaf count)", mt.Len())
+	}
+}

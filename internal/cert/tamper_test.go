@@ -1,0 +1,207 @@
+package cert_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"replicatree/internal/cert"
+	"replicatree/internal/core"
+	"replicatree/internal/solver"
+	"replicatree/internal/tree"
+)
+
+// The tampering matrix: every way an attacker (or a buggy worker) can
+// doctor a certificate must be caught by offline verification, with
+// the precise sentinel the mutation deserves. Each case starts from a
+// freshly issued, genuinely valid certificate.
+func TestTamperingMatrix(t *testing.T) {
+	in := goldenInstance(t, "binary_dist_1.json")
+
+	cases := []struct {
+		name   string
+		mutate func(c *cert.Certificate)
+		want   error
+	}{
+		{
+			// Claiming a better objective than the witness provides.
+			name:   "inflated-replica-count",
+			mutate: func(c *cert.Certificate) { c.Replicas-- },
+			want:   cert.ErrMalformed,
+		},
+		{
+			// Deleting a replica while keeping the claim consistent:
+			// clients the replica served become uncovered.
+			name: "dropped-replica",
+			mutate: func(c *cert.Certificate) {
+				victim := c.Witness.Replicas[0]
+				c.Witness.Replicas = c.Witness.Replicas[1:]
+				kept := c.Witness.Assignments[:0]
+				for _, a := range c.Witness.Assignments {
+					if a.Server != victim {
+						kept = append(kept, a)
+					}
+				}
+				c.Witness.Assignments = kept
+				c.Replicas = len(c.Witness.Replicas)
+				c.Gap = recomputeGap(c.Replicas, c.Bound.Value)
+			},
+			want: cert.ErrWitness,
+		},
+		{
+			// Routing requests to a node that holds no replica.
+			name: "phantom-server",
+			mutate: func(c *cert.Certificate) {
+				held := c.Witness.ReplicaSet()
+				var phantom tree.NodeID = -1
+				for id := tree.NodeID(0); int(id) < in.Tree.Len(); id++ {
+					if !held[id] {
+						phantom = id
+						break
+					}
+				}
+				if phantom == -1 {
+					t.Skip("every node is a replica; no phantom available")
+				}
+				c.Witness.Assignments[0].Server = phantom
+			},
+			want: cert.ErrWitness,
+		},
+		{
+			// Shaving load off an assignment leaves its client
+			// under-served.
+			name: "under-served-client",
+			mutate: func(c *cert.Certificate) {
+				c.Witness.Assignments[0].Amount--
+			},
+			want: cert.ErrWitness,
+		},
+		{
+			// Overloading: duplicate the largest assignment so its
+			// server exceeds W (and its client is over-served).
+			name: "duplicated-assignment",
+			mutate: func(c *cert.Certificate) {
+				c.Witness.Assignments = append(c.Witness.Assignments, c.Witness.Assignments[0])
+			},
+			want: cert.ErrWitness,
+		},
+		{
+			// Understating the lower bound (with the gap doctored to
+			// match) — caught only by recomputing the bound.
+			name: "deflated-bound",
+			mutate: func(c *cert.Certificate) {
+				c.Bound.Value--
+				c.Gap = recomputeGap(c.Replicas, c.Bound.Value)
+			},
+			want: cert.ErrBound,
+		},
+		{
+			// Overstating the bound to fake a tighter (or proved)
+			// solve.
+			name: "inflated-bound",
+			mutate: func(c *cert.Certificate) {
+				c.Bound.Value++
+				c.Gap = recomputeGap(c.Replicas, c.Bound.Value)
+			},
+			want: cert.ErrBound,
+		},
+		{
+			// Doctoring only the gap, leaving the bound intact.
+			name:   "doctored-gap",
+			mutate: func(c *cert.Certificate) { c.Gap /= 2; c.Gap += 0.25 },
+			want:   cert.ErrGap,
+		},
+		{
+			// Re-pointing the certificate at a different instance.
+			name: "swapped-instance-hash",
+			mutate: func(c *cert.Certificate) {
+				c.InstanceHash = strings.Repeat("ef", 32)
+			},
+			want: cert.ErrInstanceHash,
+		},
+		{
+			name:   "garbage-instance-hash",
+			mutate: func(c *cert.Certificate) { c.InstanceHash = "short" },
+			want:   cert.ErrMalformed,
+		},
+		{
+			name:   "unknown-policy",
+			mutate: func(c *cert.Certificate) { c.Policy = "Quorum" },
+			want:   cert.ErrMalformed,
+		},
+		{
+			name:   "unknown-bound-kind",
+			mutate: func(c *cert.Certificate) { c.Bound.Kind = "oracle" },
+			want:   cert.ErrMalformed,
+		},
+		{
+			name:   "future-version",
+			mutate: func(c *cert.Certificate) { c.Version = cert.Version + 1 },
+			want:   cert.ErrMalformed,
+		},
+		{
+			name:   "stripped-witness",
+			mutate: func(c *cert.Certificate) { c.Witness = nil },
+			want:   cert.ErrMalformed,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := solvedCert(t, in, solver.ExactMultiple)
+			if err := c.VerifyAgainst(in); err != nil {
+				t.Fatalf("pre-mutation certificate invalid: %v", err)
+			}
+			tc.mutate(c)
+			err := c.VerifyAgainst(in)
+			if err == nil {
+				t.Fatal("tampered certificate verified cleanly")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestTamperPolicyDowngrade: relabeling a Multiple-policy certificate
+// as Single must fail when the witness actually splits a client.
+func TestTamperPolicyDowngrade(t *testing.T) {
+	// wide_nod forces splits: many heavy clients under one root.
+	in := goldenInstance(t, "wide_nod.json")
+	c := solvedCert(t, in, solver.ExactMultiple)
+	split := false
+	perClient := map[tree.NodeID]int{}
+	for _, a := range c.Witness.Assignments {
+		perClient[a.Client]++
+		if perClient[a.Client] > 1 {
+			split = true
+		}
+	}
+	if !split {
+		t.Skip("solution happens not to split any client; downgrade undetectable and harmless")
+	}
+	c.Policy = core.Single.String()
+	if err := c.VerifyAgainst(in); !errors.Is(err, cert.ErrWitness) {
+		t.Fatalf("policy downgrade: want ErrWitness, got %v", err)
+	}
+}
+
+// TestVerifyAgainstWrongInstance: an honest certificate presented with
+// the wrong instance is rejected on the hash commitment, before any
+// replay work.
+func TestVerifyAgainstWrongInstance(t *testing.T) {
+	a := goldenInstance(t, "binary_nod_1.json")
+	b := goldenInstance(t, "binary_nod_2.json")
+	c := solvedCert(t, a, solver.Auto)
+	if err := c.VerifyAgainst(b); !errors.Is(err, cert.ErrInstanceHash) {
+		t.Fatalf("want ErrInstanceHash, got %v", err)
+	}
+}
+
+func recomputeGap(replicas, bound int) float64 {
+	if bound <= 0 {
+		return 0
+	}
+	return float64(replicas-bound) / float64(bound)
+}

@@ -35,6 +35,40 @@ func (in *Instance) CanonicalHash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CanonicalHash returns the canonical SHA-256 of the flat instance,
+// byte-identical to the hash of its pointer-tree twin (pinned by
+// TestFlatCanonicalHashMatchesPointer): the serialisation reads the
+// same per-node fields (parent, edge length, requests) off the SoA
+// arrays, so a streamed million-node instance and its materialised
+// twin share a hash — and therefore a cache line and a certificate
+// commitment — without ever building the pointer tree.
+func (fi *FlatInstance) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(hashVersion)
+	put(fi.W)
+	put(fi.DMax)
+	if f := fi.Flat; f != nil {
+		put(int64(f.Root()))
+		put(int64(f.Len()))
+		for j := 0; j < f.Len(); j++ {
+			put(int64(f.Parents[j]))
+			put(f.EdgeLens[j]) // 0 for the root, matching the arena convention
+			put(f.Reqs[j])
+		}
+	} else {
+		put(int64(tree.None))
+		put(0)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return hex.EncodeToString(sum[:])
+}
+
 func (in *Instance) canonicalSum() [sha256.Size]byte {
 	h := sha256.New()
 	var buf [8]byte

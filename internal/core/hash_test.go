@@ -88,6 +88,19 @@ func TestCanonicalHashSurvivesJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFlatCanonicalHashMatchesPointer: the flat instance's hash must
+// be byte-identical to its pointer twin's — certificates commit to
+// one hash regardless of which representation solved the instance.
+func TestFlatCanonicalHashMatchesPointer(t *testing.T) {
+	for _, dmax := range []int64{5, NoDistance} {
+		in := inst(t, 9, dmax)
+		fi := &FlatInstance{Flat: tree.Flatten(in.Tree), W: in.W, DMax: in.DMax}
+		if got, want := fi.CanonicalHash(), in.CanonicalHash(); got != want {
+			t.Errorf("dmax=%d: flat hash %s != pointer hash %s", dmax, got, want)
+		}
+	}
+}
+
 func TestCanonicalHashNilTree(t *testing.T) {
 	a := &Instance{W: 1, DMax: NoDistance}
 	b := &Instance{W: 2, DMax: NoDistance}

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/service"
+)
+
+// solveCertVia requests a certificate-bearing /v2/solve through the
+// fleet router.
+func solveCertVia(t testing.TB, url, solverName string, in *core.Instance) service.SolveResponseV2 {
+	t.Helper()
+	resp, body := postBody(t, url+"/v2/solve", service.SolveRequestV2{
+		Solver: solverName, Instance: in, Certificate: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, body)
+	}
+	var out service.SolveResponseV2
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Certificate == nil {
+		t.Fatal("certificate requested but absent")
+	}
+	return out
+}
+
+func pollFleetJob(t testing.TB, url, jobID string) service.JobResponseV2 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(url + "/v2/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", r.StatusCode, b)
+		}
+		var jr service.JobResponseV2
+		if err := json.Unmarshal(b, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == service.JobDone {
+			return jr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not settle within 10s")
+	return service.JobResponseV2{}
+}
+
+// TestFleetProofForwarding: certificates flow through the fleet — a
+// certificates-enabled batch lands on one worker, and the router
+// forwards /v2/jobs/{id}/proof/{task} to that owner so every task's
+// certificate + inclusion proof is fetchable through the front-end
+// and verifies offline. The fleet /metrics document aggregates the
+// cert counters across workers.
+func TestFleetProofForwarding(t *testing.T) {
+	f, ts := newTestFleet(t, Config{Workers: 4, Replication: 0, CacheSize: 256})
+	files := []string{"binary_nod_1.json", "binary_dist_2.json", "gadget_fig4.json", "wide_nod.json"}
+	req := service.BatchRequestV2{Workers: 1, Certificates: true}
+	for _, file := range files {
+		req.Tasks = append(req.Tasks, service.BatchTaskV2{
+			ID: file, Solver: "auto", Instance: corpusInstance(t, file),
+		})
+	}
+	resp, body := postBody(t, ts.URL+"/v2/batch", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var acc service.BatchAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	done := pollFleetJob(t, ts.URL, acc.JobID)
+	if done.CertificateRoot == "" {
+		t.Fatal("fleet job settled without a certificate root")
+	}
+
+	for _, file := range files {
+		r, err := http.Get(ts.URL + "/v2/jobs/" + acc.JobID + "/proof/" + file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: proof status %d: %s", file, r.StatusCode, b)
+		}
+		var pr service.ProofResponseV2
+		if err := json.Unmarshal(b, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.CertificateRoot != done.CertificateRoot {
+			t.Fatalf("%s: proof root %s != job root %s", file, pr.CertificateRoot, done.CertificateRoot)
+		}
+		if err := pr.Certificate.VerifyAgainst(corpusInstance(t, file)); err != nil {
+			t.Fatalf("%s: certificate rejected offline: %v", file, err)
+		}
+		if err := pr.Certificate.VerifyInclusionOf(done.CertificateRoot, pr.Proof); err != nil {
+			t.Fatalf("%s: inclusion rejected: %v", file, err)
+		}
+	}
+
+	snap := f.Snapshot()
+	if snap.Certs.Issued < uint64(len(files)) {
+		t.Errorf("fleet certs issued = %d, want ≥ %d", snap.Certs.Issued, len(files))
+	}
+	if snap.Certs.ProofsServed != uint64(len(files)) {
+		t.Errorf("fleet proofs served = %d, want %d", snap.Certs.ProofsServed, len(files))
+	}
+	if snap.Certs.Failures != 0 {
+		t.Errorf("fleet cert failures = %d, want 0", snap.Certs.Failures)
+	}
+}
+
+// TestFleetGossipAdoptedCertificates is the cert-survival pin: a
+// result gossiped to a replica worker and served from its cache after
+// the owner dies must yield byte-identical certificate bytes — the
+// certificate's canonical encoding covers no wall-clock or
+// worker-local field, and cached reports keep the Proved/Work
+// metadata certificates attest.
+func TestFleetGossipAdoptedCertificates(t *testing.T) {
+	f, ts := newTestFleet(t, Config{Workers: 4, Replication: 2, CacheSize: 64})
+	in := corpusInstance(t, "binary_dist_2.json")
+	const eng = "exact-multiple"
+
+	fresh := solveCertVia(t, ts.URL, eng, in)
+	if err := fresh.Certificate.VerifyAgainst(in); err != nil {
+		t.Fatalf("owner's certificate rejected: %v", err)
+	}
+	f.SyncGossip()
+
+	owner, ok := f.ring.Owner(in.CanonicalHash())
+	if !ok {
+		t.Fatal("no ring owner")
+	}
+	if err := f.Kill(owner); err != nil {
+		t.Fatal(err)
+	}
+
+	adopted := solveCertVia(t, ts.URL, eng, in)
+	if !adopted.Cached {
+		t.Fatal("successor did not serve the gossiped replica from cache")
+	}
+	h1, err := fresh.Certificate.HashHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := adopted.Certificate.HashHex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("gossip-adopted result issued different certificate bytes: owner %s, replica %s", h1, h2)
+	}
+	if adopted.Certificate.Optimality == nil {
+		t.Fatal("gossip-adopted certificate lost the optimality attestation")
+	}
+	if err := adopted.Certificate.VerifyAgainst(in); err != nil {
+		t.Fatalf("gossip-adopted certificate rejected offline: %v", err)
+	}
+}

@@ -309,15 +309,19 @@ type WorkerSnapshot struct {
 // Snapshot is the fleet-wide observability document, the body of the
 // router's GET /metrics.
 type Snapshot struct {
-	Workers     int                       `json:"workers"`
-	Alive       int                       `json:"alive"`
-	VNodes      int                       `json:"vnodes"`
-	Replication int                       `json:"replication"`
-	Failovers   uint64                    `json:"failovers"`
-	Unroutable  uint64                    `json:"unroutable"`
-	Gossip      GossipStats               `json:"gossip"`
-	Totals      TierStats                 `json:"totals"`
-	PerWorker   map[string]WorkerSnapshot `json:"per_worker"`
+	Workers     int         `json:"workers"`
+	Alive       int         `json:"alive"`
+	VNodes      int         `json:"vnodes"`
+	Replication int         `json:"replication"`
+	Failovers   uint64      `json:"failovers"`
+	Unroutable  uint64      `json:"unroutable"`
+	Gossip      GossipStats `json:"gossip"`
+	Totals      TierStats   `json:"totals"`
+	// Certs aggregates the workers' certificate counters (issued,
+	// proofs served, failures) fleet-wide; per-worker numbers stay in
+	// PerWorker[id].Service.Certs.
+	Certs     service.CertMetrics       `json:"certs"`
+	PerWorker map[string]WorkerSnapshot `json:"per_worker"`
 	// Router carries the front-end's own request counters; the Router
 	// fills it in when rendering /metrics.
 	Router service.MetricsSnapshot `json:"router"`
@@ -347,12 +351,16 @@ func (f *Fleet) Snapshot() Snapshot {
 	for _, id := range order {
 		w := f.Worker(id)
 		ts := w.cache.tierStats()
+		ms := w.srv.MetricsSnapshot()
 		snap.PerWorker[id] = WorkerSnapshot{
 			State:    w.stateLabel(),
 			Forwards: w.forwards.Load(),
 			Cache:    ts,
-			Service:  w.srv.MetricsSnapshot(),
+			Service:  ms,
 		}
+		snap.Certs.Issued += ms.Certs.Issued
+		snap.Certs.ProofsServed += ms.Certs.ProofsServed
+		snap.Certs.Failures += ms.Certs.Failures
 		if w.routable() {
 			snap.Alive++
 		}

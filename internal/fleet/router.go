@@ -74,6 +74,7 @@ func (f *Fleet) Router() *Router {
 		rt.mux.HandleFunc("POST /v2/solve", rt.handleSolve)
 		rt.mux.HandleFunc("POST /v2/batch", rt.handleBatch)
 		rt.mux.HandleFunc("GET /v2/jobs/{id}", rt.handleJob)
+		rt.mux.HandleFunc("GET /v2/jobs/{id}/proof/{task}", rt.handleProof)
 		rt.mux.HandleFunc("GET /v2/solvers", rt.handleSolvers)
 		rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 		rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -305,7 +306,22 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
-	const endpoint = "/v2/jobs"
+	rt.serveJobScoped(w, r, "/v2/jobs")
+}
+
+// handleProof relays GET /v2/jobs/{id}/proof/{task} — a certificate
+// plus Merkle inclusion proof — through the same owner-routing as job
+// polls: certificates and their Merkle tree live in the owning
+// worker's job table, so the proof must come from the worker that
+// settled the job.
+func (rt *Router) handleProof(w http.ResponseWriter, r *http.Request) {
+	rt.serveJobScoped(w, r, "/v2/jobs/proof")
+}
+
+// serveJobScoped routes a job-scoped GET (poll or proof) to the
+// worker that accepted the job, broadcasting when the ownership table
+// has no entry (router restart, aged-out mapping).
+func (rt *Router) serveJobScoped(w http.ResponseWriter, r *http.Request, endpoint string) {
 	id := r.PathValue("id")
 	rt.jobMu.Lock()
 	owner, known := rt.jobOwner[id]
@@ -339,7 +355,11 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		last = rec
-		if rec.status == http.StatusOK {
+		if rec.status != http.StatusNotFound {
+			// Any non-404 answer comes from a worker that knows the
+			// job — including a proof endpoint's 409 (job not settled /
+			// certificates disabled), which must reach the client
+			// instead of being masked by another worker's 404.
 			break
 		}
 	}

@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
+	"replicatree/internal/cert"
 	"replicatree/internal/solver"
 )
 
@@ -28,6 +30,10 @@ type JobManager struct {
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// metrics, when set (the server wires its own in), receives the
+	// certificate counters from job settles.
+	metrics *Metrics
 }
 
 type job struct {
@@ -43,6 +49,15 @@ type job struct {
 	resultsV1 []TaskResult
 	resultsV2 []TaskResultV2
 	stats     *JobStats
+	// Certificate state, built once at settle when the submit asked
+	// for certificates: per-task certs (nil for failed tasks), the
+	// Merkle tree over the successful tasks' leaf hashes (task order)
+	// and each task's leaf index (-1 for failed tasks). All frozen
+	// after settle, so proof serving needs no recomputation.
+	certsOn bool
+	certs   []*cert.Certificate
+	merkle  *cert.Tree
+	leafIdx []int
 }
 
 // cachedReporter lets job results report cache hits; the server's
@@ -80,16 +95,17 @@ func NewJobManager(workers, queueCap, retain int) *JobManager {
 	return m
 }
 
-// Submit enqueues a job over the given tasks and returns its ID. It
-// fails when the queue is full or the manager is closed.
-func (m *JobManager) Submit(tasks []solver.Task, opt solver.Options) (string, error) {
+// Submit enqueues a job over the given tasks and returns its ID.
+// certs requests per-task placement certificates, Merkle-batched at
+// settle. It fails when the queue is full or the manager is closed.
+func (m *JobManager) Submit(tasks []solver.Task, opt solver.Options, certs bool) (string, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return "", fmt.Errorf("service: job manager is shut down")
 	}
 	m.nextID++
-	j := &job{id: fmt.Sprintf("job-%06d", m.nextID), tasks: tasks, opt: opt, status: JobQueued}
+	j := &job{id: fmt.Sprintf("job-%06d", m.nextID), tasks: tasks, opt: opt, status: JobQueued, certsOn: certs}
 	select {
 	case m.queue <- j:
 	default:
@@ -130,7 +146,76 @@ func (m *JobManager) GetV2(id string) (JobResponseV2, bool) {
 	if j.resultsV2 != nil {
 		resp.Results = append([]TaskResultV2(nil), j.resultsV2...)
 	}
+	if j.merkle != nil {
+		resp.CertificateRoot = j.merkle.RootHex()
+	}
 	return resp, true
+}
+
+// Proof returns the certificate + inclusion proof document for one
+// task of a settled certificates-enabled job. task is the task's
+// caller-supplied ID, or (as a fallback, when no ID matches) its
+// decimal batch index. The error is one of the Problem documents the
+// /v2 proof endpoint serves verbatim.
+func (m *JobManager) Proof(id, task string) (ProofResponseV2, *Problem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		p := problem(ProblemUnknownJob, "unknown job", 404, fmt.Errorf("unknown job %q", id))
+		return ProofResponseV2{}, &p
+	}
+	if !j.certsOn {
+		p := problem(ProblemCertsDisabled, "certificates disabled for this job", 409,
+			fmt.Errorf("job %q was submitted without \"certificates\": true; re-submit the batch with certificates enabled", id))
+		return ProofResponseV2{}, &p
+	}
+	if j.status != JobDone || j.merkle == nil {
+		p := problem(ProblemJobNotSettled, "job has not settled", 409,
+			fmt.Errorf("job %q is %s; certificates are built when it settles", id, j.status))
+		return ProofResponseV2{}, &p
+	}
+	idx := -1
+	for i, t := range j.tasks {
+		if t.ID != "" && t.ID == task {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		if n, err := strconv.Atoi(task); err == nil && n >= 0 && n < len(j.tasks) {
+			idx = n
+		}
+	}
+	if idx == -1 {
+		p := problem(ProblemUnknownTask, "unknown task", 404,
+			fmt.Errorf("job %q has no task %q (address tasks by their id, or by batch index 0…%d)", id, task, len(j.tasks)-1))
+		return ProofResponseV2{}, &p
+	}
+	if j.certs[idx] == nil {
+		p := problem(ProblemUnknownTask, "task has no certificate", 404,
+			fmt.Errorf("task %q of job %q failed; no certificate was issued", task, id))
+		return ProofResponseV2{}, &p
+	}
+	proof, err := j.merkle.Proof(j.leafIdx[idx])
+	if err != nil {
+		p := problem(ProblemCertFailed, "certification failed", 500, err)
+		return ProofResponseV2{}, &p
+	}
+	leaf, err := j.certs[idx].HashHex()
+	if err != nil {
+		p := problem(ProblemCertFailed, "certification failed", 500, err)
+		return ProofResponseV2{}, &p
+	}
+	return ProofResponseV2{
+		JobID:           j.id,
+		TaskID:          j.tasks[idx].ID,
+		TaskIndex:       idx,
+		CertificateRoot: j.merkle.RootHex(),
+		Certificate:     j.certs[idx],
+		LeafHash:        leaf,
+		Proof:           proof,
+	}, nil
 }
 
 // Close stops accepting jobs, cancels the running ones and waits for
@@ -161,10 +246,24 @@ func (m *JobManager) runner() {
 			trs2[i] = taskResultV2(r)
 		}
 		stats := jobStats(st)
+		// Certificates are built here, once, outside the manager lock
+		// and entirely off the solve path: proofs are then O(log n)
+		// table lookups at serve time.
+		var (
+			certs   []*cert.Certificate
+			leafIdx []int
+			merkle  *cert.Tree
+		)
+		if j.certsOn {
+			certs, leafIdx, merkle = m.certifyResults(j.tasks, results)
+		}
 		m.mu.Lock()
 		j.resultsV1 = trs1
 		j.resultsV2 = trs2
 		j.stats = stats
+		j.certs = certs
+		j.leafIdx = leafIdx
+		j.merkle = merkle
 		j.status = JobDone
 		m.done = append(m.done, j.id)
 		for len(m.done) > m.retain {
@@ -173,6 +272,50 @@ func (m *JobManager) runner() {
 		}
 		m.mu.Unlock()
 	}
+}
+
+// certifyResults certifies every successful task of a settled batch
+// and builds the Merkle tree over the resulting leaf hashes, in task
+// order. Failed (or uncertifiable) tasks get a nil certificate and
+// leaf index -1; uncertifiable successes additionally count as
+// verification failures in the metrics — a served solution that
+// cannot be certified is an internal invariant violation.
+func (m *JobManager) certifyResults(tasks []solver.Task, results []solver.Result) ([]*cert.Certificate, []int, *cert.Tree) {
+	certs := make([]*cert.Certificate, len(results))
+	leafIdx := make([]int, len(results))
+	leaves := make([][32]byte, 0, len(results))
+	issued := 0
+	for i, r := range results {
+		leafIdx[i] = -1
+		if r.Err != nil || r.Report.Solution == nil {
+			continue
+		}
+		rep := r.Report
+		c, err := solver.Certify(tasks[i].Request.Instance, &rep)
+		if err == nil {
+			var leaf [32]byte
+			leaf, err = c.Hash()
+			if err == nil {
+				certs[i] = c
+				leafIdx[i] = len(leaves)
+				leaves = append(leaves, leaf)
+				issued++
+				continue
+			}
+		}
+		if m.metrics != nil {
+			m.metrics.CertFailure()
+		}
+	}
+	var mt *cert.Tree
+	if len(leaves) > 0 {
+		// NewTree only errors on zero leaves, which the guard excludes.
+		mt, _ = cert.NewTree(leaves)
+	}
+	if m.metrics != nil && issued > 0 {
+		m.metrics.CertIssued(issued)
+	}
+	return certs, leafIdx, mt
 }
 
 func (m *JobManager) setStatus(j *job, status string) {

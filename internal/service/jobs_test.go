@@ -48,7 +48,7 @@ func TestBatchTaskTimeoutAbandonedSolve(t *testing.T) {
 		Engine:  &cachingEngine{server: srv, inner: solver.MustLookup("test-slow")},
 		Request: solver.Request{Instance: in},
 	}}
-	id, err := srv.jobs.Submit(tasks, solver.Options{Timeout: 10 * time.Millisecond})
+	id, err := srv.jobs.Submit(tasks, solver.Options{Timeout: 10 * time.Millisecond}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +89,12 @@ func TestJobQueueBackpressure(t *testing.T) {
 
 	// First job occupies the single runner, second fills the queue;
 	// the third must be rejected, not buffered.
-	if _, err := m.Submit(task, solver.Options{}); err != nil {
+	if _, err := m.Submit(task, solver.Options{}, false); err != nil {
 		t.Fatal(err)
 	}
 	var sawFull bool
 	for i := 0; i < 2; i++ {
-		if _, err := m.Submit(task, solver.Options{}); err != nil {
+		if _, err := m.Submit(task, solver.Options{}, false); err != nil {
 			sawFull = true
 			break
 		}
@@ -110,16 +110,16 @@ func TestJobManagerCloseSkipsQueued(t *testing.T) {
 	m := NewJobManager(1, 4, 0)
 	slow := solver.MustLookup("test-slow")
 	task := func() solver.Task { return solver.Task{Engine: slow, Request: solver.Request{Instance: in}} }
-	running, err := m.Submit([]solver.Task{task()}, solver.Options{})
+	running, err := m.Submit([]solver.Task{task()}, solver.Options{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := m.Submit([]solver.Task{task(), task()}, solver.Options{})
+	queued, err := m.Submit([]solver.Task{task(), task()}, solver.Options{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
-	if _, err := m.Submit([]solver.Task{task()}, solver.Options{}); err == nil {
+	if _, err := m.Submit([]solver.Task{task()}, solver.Options{}, false); err == nil {
 		t.Error("closed manager accepted a job")
 	}
 	for _, id := range []string{running, queued} {

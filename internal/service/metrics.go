@@ -16,6 +16,7 @@ type Metrics struct {
 	requests  map[string]uint64 // endpoint -> count
 	statuses  map[int]uint64    // HTTP status -> count
 	latencies map[string]*histogram
+	certs     CertMetrics
 }
 
 // latencyBuckets are the histogram upper bounds for per-solver solve
@@ -71,6 +72,38 @@ func (m *Metrics) Solve(solverName string, elapsed time.Duration) {
 	h.sum += elapsed
 }
 
+// CertMetrics counts certificate activity: certificates issued
+// (inline on /v2/solve and at batch settle), inclusion proofs served
+// by the proof endpoint, and certification failures (a report that
+// could not be certified — an internal invariant violation, since
+// every served solution has passed verification).
+type CertMetrics struct {
+	Issued       uint64 `json:"issued"`
+	ProofsServed uint64 `json:"proofs_served"`
+	Failures     uint64 `json:"verification_failures"`
+}
+
+// CertIssued records n freshly built certificates.
+func (m *Metrics) CertIssued(n int) {
+	m.mu.Lock()
+	m.certs.Issued += uint64(n)
+	m.mu.Unlock()
+}
+
+// CertProofServed records one inclusion proof served.
+func (m *Metrics) CertProofServed() {
+	m.mu.Lock()
+	m.certs.ProofsServed++
+	m.mu.Unlock()
+}
+
+// CertFailure records one failed certification.
+func (m *Metrics) CertFailure() {
+	m.mu.Lock()
+	m.certs.Failures++
+	m.mu.Unlock()
+}
+
 // LatencySnapshot is the exported histogram of one solver.
 type LatencySnapshot struct {
 	Count int64 `json:"count"`
@@ -87,6 +120,7 @@ type MetricsSnapshot struct {
 	Requests map[string]uint64          `json:"requests"`
 	Statuses map[string]uint64          `json:"statuses"`
 	Solvers  map[string]LatencySnapshot `json:"solvers"`
+	Certs    CertMetrics                `json:"certs"`
 }
 
 var bucketLabels = func() []string {
@@ -113,6 +147,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Requests: make(map[string]uint64, len(m.requests)),
 		Statuses: make(map[string]uint64, len(m.statuses)),
 		Solvers:  make(map[string]LatencySnapshot, len(m.latencies)),
+		Certs:    m.certs,
 	}
 	for k, v := range m.requests {
 		snap.Requests[k] = v

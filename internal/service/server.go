@@ -101,6 +101,7 @@ func New(opt Options) *Server {
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
 	}
+	s.jobs.metrics = s.metrics
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -108,6 +109,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v2/solve", s.handleSolveV2)
 	s.mux.HandleFunc("POST /v2/batch", s.handleBatchV2)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/proof/{task}", s.handleProofV2)
 	s.mux.HandleFunc("GET /v2/solvers", s.handleSolversV2)
 	s.mux.HandleFunc("PUT /v2/instances/{id}", s.handleInstancePut)
 	s.mux.HandleFunc("POST /v2/instances/{id}/mutate", s.handleInstanceMutate)
@@ -355,8 +357,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Request: solver.Request{Instance: bt.Instance},
 		}
 	}
+	// v1 predates certificates; jobs submitted here never build them.
 	opt := solver.Options{Workers: workers, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
-	id, err := s.jobs.Submit(tasks, opt)
+	id, err := s.jobs.Submit(tasks, opt, false)
 	if err != nil {
 		s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
 		return

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"replicatree/internal/cert"
 	"replicatree/internal/core"
 	"replicatree/internal/exact"
 	"replicatree/internal/solver"
@@ -40,6 +41,12 @@ type SolveRequestV2 struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Hints is free-form engine advice (see solver.Request.Hints).
 	Hints map[string]string `json:"hints,omitempty"`
+	// Certificate requests a verifiable placement certificate in the
+	// response: the canonical instance commitment, the feasibility
+	// witness and the lower-bound attestation, checkable offline with
+	// cmd/replicaverify. Built on demand at response time — never on
+	// the zero-allocation solve path.
+	Certificate bool `json:"certificate,omitempty"`
 }
 
 // SolveResponseV2 is the body of a successful POST /v2/solve — the
@@ -74,6 +81,12 @@ type SolveResponseV2 struct {
 	// (delta engines): what changed relative to it.
 	Churn    *ChurnDoc      `json:"churn,omitempty"`
 	Solution *core.Solution `json:"solution"`
+	// Certificate is present when the request asked for one: the
+	// offline-verifiable receipt for this solve. Identical bytes are
+	// issued for cached and fresh solves of the same instance — the
+	// cache stores full reports, and the certificate's canonical
+	// encoding covers no wall-clock field.
+	Certificate *cert.Certificate `json:"certificate,omitempty"`
 }
 
 // BatchRequestV2 is the body of POST /v2/batch.
@@ -83,6 +96,12 @@ type BatchRequestV2 struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS bounds each task (0 = no per-task timeout).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Certificates requests per-task placement certificates, built
+	// once when the job settles and committed to a single Merkle root
+	// (JobResponseV2.CertificateRoot). Individual certificates with
+	// O(log n) inclusion proofs are served by
+	// GET /v2/jobs/{id}/proof/{task}.
+	Certificates bool `json:"certificates,omitempty"`
 }
 
 // BatchTaskV2 is one typed task of a v2 batch job.
@@ -121,6 +140,35 @@ type JobResponseV2 struct {
 	Status  string         `json:"status"`
 	Results []TaskResultV2 `json:"results,omitempty"`
 	Stats   *JobStats      `json:"stats,omitempty"`
+	// CertificateRoot is the Merkle root over the job's task
+	// certificates (successful tasks, in task order), present once a
+	// certificates-enabled job settles. Fetch any task's certificate
+	// plus inclusion proof from GET /v2/jobs/{id}/proof/{task}.
+	CertificateRoot string `json:"certificate_root,omitempty"`
+}
+
+// ProofResponseV2 is the body of GET /v2/jobs/{id}/proof/{task}: one
+// task's certificate together with the Merkle inclusion proof tying
+// it to the job's certificate root. Everything needed for offline
+// verification (cmd/replicaverify) is in here plus the instance the
+// caller already holds.
+type ProofResponseV2 struct {
+	JobID string `json:"job_id"`
+	// TaskID echoes the task's caller-supplied label (empty when the
+	// task was addressed by index).
+	TaskID string `json:"task_id,omitempty"`
+	// TaskIndex is the task's position in the submitted batch.
+	TaskIndex int `json:"task_index"`
+	// CertificateRoot repeats the job's Merkle root so the document is
+	// self-contained.
+	CertificateRoot string            `json:"certificate_root"`
+	Certificate     *cert.Certificate `json:"certificate"`
+	// LeafHash is the certificate's Merkle leaf hash
+	// (SHA-256(0x00 ‖ canonical encoding)), recomputable from the
+	// certificate alone.
+	LeafHash string `json:"leaf_hash"`
+	// Proof is the ⌈log₂ n⌉-hash inclusion proof.
+	Proof *cert.Proof `json:"proof"`
 }
 
 // CapabilityDoc is one engine's capability document in
@@ -165,6 +213,11 @@ const (
 	ProblemUnknownInstance    = "urn:replicatree:problem:unknown-instance"
 	ProblemHashMismatch       = "urn:replicatree:problem:canonical-hash-mismatch"
 	ProblemInfeasibleMutation = "urn:replicatree:problem:infeasible-after-mutation"
+	// Certificate problems (the /v2/jobs/{id}/proof/{task} endpoint).
+	ProblemUnknownTask   = "urn:replicatree:problem:unknown-task"
+	ProblemCertsDisabled = "urn:replicatree:problem:certificates-disabled"
+	ProblemJobNotSettled = "urn:replicatree:problem:job-not-settled"
+	ProblemCertFailed    = "urn:replicatree:problem:certification-failed"
 )
 
 // problem builds a Problem from its parts.
@@ -303,21 +356,35 @@ func (s *Server) handleSolveV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep := out.report
+	var c *cert.Certificate
+	if req.Certificate {
+		// Certification happens here, after the solve returned — the
+		// zero-allocation warm path inside Engine.Solve never sees it.
+		c, err = solver.Certify(req.Instance, &rep)
+		if err != nil {
+			s.metrics.CertFailure()
+			s.writeProblem(w, endpoint, problem(ProblemCertFailed, "certification failed",
+				http.StatusInternalServerError, err))
+			return
+		}
+		s.metrics.CertIssued(1)
+	}
 	s.writeJSON(w, endpoint, http.StatusOK, SolveResponseV2{
-		Solver:     eng.Name(),
-		Engine:     rep.Engine,
-		Policy:     rep.Policy.String(),
-		Hash:       out.hash,
-		Replicas:   rep.Solution.NumReplicas(),
-		LowerBound: rep.LowerBound,
-		Gap:        rep.Gap,
-		Work:       rep.Work,
-		Proved:     rep.Proved,
-		Verified:   true,
-		Cached:     out.cached,
-		ElapsedMS:  durMS(time.Since(begin)),
-		Churn:      churnDoc(rep.Churn),
-		Solution:   rep.Solution,
+		Solver:      eng.Name(),
+		Engine:      rep.Engine,
+		Policy:      rep.Policy.String(),
+		Hash:        out.hash,
+		Replicas:    rep.Solution.NumReplicas(),
+		LowerBound:  rep.LowerBound,
+		Gap:         rep.Gap,
+		Work:        rep.Work,
+		Proved:      rep.Proved,
+		Verified:    true,
+		Cached:      out.cached,
+		ElapsedMS:   durMS(time.Since(begin)),
+		Churn:       churnDoc(rep.Churn),
+		Solution:    rep.Solution,
+		Certificate: c,
 	})
 }
 
@@ -379,7 +446,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	opt := solver.Options{Workers: workers, Timeout: time.Duration(req.TimeoutMS) * time.Millisecond}
-	id, err := s.jobs.Submit(tasks, opt)
+	id, err := s.jobs.Submit(tasks, opt, req.Certificates)
 	if err != nil {
 		s.writeProblem(w, endpoint, problem(ProblemOverloaded, "job queue unavailable", http.StatusServiceUnavailable, err))
 		return
@@ -400,6 +467,17 @@ func (s *Server) handleJobV2(w http.ResponseWriter, r *http.Request) {
 			http.StatusNotFound, fmt.Errorf("unknown job %q", id)))
 		return
 	}
+	s.writeJSON(w, endpoint, http.StatusOK, resp)
+}
+
+func (s *Server) handleProofV2(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v2/jobs/proof"
+	resp, prob := s.jobs.Proof(r.PathValue("id"), r.PathValue("task"))
+	if prob != nil {
+		s.writeProblem(w, endpoint, *prob)
+		return
+	}
+	s.metrics.CertProofServed()
 	s.writeJSON(w, endpoint, http.StatusOK, resp)
 }
 
